@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one reproduced table/figure (see DESIGN.md's
+experiment index), prints it, writes it under ``benchmarks/results/``,
+and asserts its expected qualitative shape.  The F1/F2/F3/T4 benchmarks
+share one session-scoped harness so the (workload, scheme) grid is
+simulated once.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.harness import ExperimentHarness
+
+#: Workload size multiplier for every benchmark run.
+BENCH_SCALE = 0.25
+BENCH_SEED = 42
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def shared_harness() -> ExperimentHarness:
+    """One harness (and result cache) for the full-grid experiments."""
+    return ExperimentHarness(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print an experiment's output and persist it for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _report(output) -> None:
+        text = str(output)
+        print("\n" + text)
+        path = os.path.join(RESULTS_DIR, f"{output.ident}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

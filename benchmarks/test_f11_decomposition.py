@@ -1,0 +1,40 @@
+"""F11: attributing the win — metadata home vs granule reconstruction.
+
+``sector-l2`` borrows only CacheCraft's metadata-in-L2 placement (same
+per-sector code as ``metadata-cache``); whatever CacheCraft wins beyond
+it comes from the granule code + contribution directory.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import f11_decomposition
+from repro.workloads import WORKLOADS
+
+
+def test_f11_decomposition(benchmark, report, shared_harness):
+    out = run_once(benchmark, f11_decomposition, harness=shared_harness)
+    report(out)
+    perf = out.data["perf"]
+    gm = perf["geomean"]
+
+    # Moving metadata into the L2 is roughly neutral on its own: it
+    # wins on metadata-bound divergent reads but loses on write-heavy
+    # kernels (per-sector metadata churn displaces data)...
+    assert gm["sector-l2"] > gm["metadata-cache"] - 0.03
+    # ...the full mechanism is strictly better than either half.
+    assert gm["cachecraft"] > gm["sector-l2"]
+    assert gm["cachecraft"] > gm["metadata-cache"]
+
+    # The L2 home is a liability exactly where data and metadata fight
+    # for capacity (histogram's hot bins): the granule code +
+    # directory is what rescues CacheCraft there.
+    assert perf["histogram"]["sector-l2"] < \
+        perf["histogram"]["metadata-cache"]
+    assert perf["histogram"]["cachecraft"] > \
+        perf["histogram"]["sector-l2"] + 0.1
+
+    # On metadata-traffic-bound divergent reads, both L2-home schemes
+    # beat the SRAM cache, and CacheCraft leads.
+    for wl in ("spmv", "bfs"):
+        assert perf[wl]["cachecraft"] >= perf[wl]["sector-l2"] - 0.01
+        assert perf[wl]["sector-l2"] > perf[wl]["metadata-cache"] - 0.02

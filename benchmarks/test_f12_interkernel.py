@@ -1,0 +1,27 @@
+"""F12: inter-kernel persistence of reconstructed protection state."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis.experiments import f12_interkernel
+
+
+def test_f12_interkernel(benchmark, report):
+    out = run_once(benchmark, f12_interkernel, scale=BENCH_SCALE,
+                   seed=BENCH_SEED)
+    report(out)
+    data = out.data
+
+    cc = data["cachecraft"]
+    nodir = data["cachecraft-nodir"]
+    # The directory must substantially cut the consumer's verification
+    # fills (the producer already paid for those granules)...
+    assert cc["consumer_fill_bytes"] < nodir["consumer_fill_bytes"] * 0.7
+    # ...and that shows up as consumer time.
+    assert cc["consumer_cycles"] < nodir["consumer_cycles"]
+    # Against blind full-granule fetch the gap is at least as large.
+    assert cc["consumer_fill_bytes"] < \
+        data["inline-full"]["consumer_fill_bytes"] * 0.7
+    # End to end, CacheCraft is the fastest granule scheme and
+    # competitive with (or better than) the per-sector MDC design.
+    assert cc["total_cycles"] < data["inline-full"]["total_cycles"]
+    assert cc["total_cycles"] < data["metadata-cache"]["total_cycles"] * 1.05

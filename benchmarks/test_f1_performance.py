@@ -1,0 +1,45 @@
+"""F1 (headline): normalized performance of every scheme, every workload.
+
+Expected shape (see EXPERIMENTS.md): unprotected = 1.0 by definition,
+sideband within a few percent; among inline schemes the naive
+per-miss-metadata scheme is the floor, and CacheCraft matches or beats
+the dedicated-metadata-cache and full-granule-fetch baselines in the
+geomean while using a stronger, lower-redundancy code and no dedicated
+SRAM metadata cache.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import f1_performance
+from repro.analysis.harness import geomean
+
+
+def test_f1_performance(benchmark, report, shared_harness):
+    out = run_once(benchmark, f1_performance, harness=shared_harness)
+    report(out)
+    perf = out.data["perf"]
+    gm = perf["geomean"]
+
+    assert gm["none"] == 1.0
+    assert gm["sideband"] > 0.95
+    # Sanity: every number is a plausible normalized performance.
+    for wl, by_scheme in perf.items():
+        for scheme, value in by_scheme.items():
+            assert 0.1 < value < 2.0, (wl, scheme, value)
+
+    # The naive inline scheme is the floor among inline schemes.
+    assert gm["inline-sector"] == min(
+        gm[s] for s in ("inline-sector", "metadata-cache", "inline-full",
+                        "cachecraft"))
+    # CacheCraft beats the naive floor decisively...
+    assert gm["cachecraft"] > gm["inline-sector"] * 1.1
+    # ...and is at least competitive with both strong baselines.
+    assert gm["cachecraft"] > gm["metadata-cache"] * 0.95
+    assert gm["cachecraft"] > gm["inline-full"] * 0.95
+
+    # On the divergent-read workloads (where metadata traffic bites),
+    # CacheCraft must beat the dedicated metadata cache.
+    divergent = ["spmv", "bfs"]
+    cc = geomean(perf[w]["cachecraft"] for w in divergent)
+    mdc = geomean(perf[w]["metadata-cache"] for w in divergent)
+    assert cc > mdc

@@ -1,0 +1,41 @@
+"""F2: DRAM traffic breakdown per scheme, normalized to unprotected."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import f2_traffic
+from repro.analysis.harness import geomean
+from repro.workloads import WORKLOADS
+
+
+def test_f2_traffic(benchmark, report, shared_harness):
+    out = run_once(benchmark, f2_traffic, harness=shared_harness)
+    report(out)
+    traffic = out.data["traffic"]
+
+    # Unprotected runs move only data + writeback.
+    for wl in WORKLOADS:
+        none = traffic[wl]["none"]
+        assert none["metadata"] == 0
+        assert none["verify_fill"] == 0
+
+    # Protected schemes always add metadata traffic somewhere.
+    for scheme in ("inline-sector", "metadata-cache", "inline-full",
+                   "cachecraft"):
+        assert sum(traffic[wl][scheme]["metadata"] for wl in WORKLOADS) > 0
+
+    # The metadata cache cuts metadata traffic vs the naive scheme.
+    naive = geomean(max(traffic[wl]["inline-sector"]["metadata"], 1e-9)
+                    for wl in WORKLOADS)
+    cached = geomean(max(traffic[wl]["metadata-cache"]["metadata"], 1e-9)
+                     for wl in WORKLOADS)
+    assert cached < naive
+
+    # CacheCraft never fills more than blind full-granule fetch.
+    for wl in WORKLOADS:
+        assert traffic[wl]["cachecraft"]["verify_fill"] <= \
+            traffic[wl]["inline-full"]["verify_fill"] * 1.02, wl
+
+    # On the streaming kernels CacheCraft's total overhead is small.
+    for wl in ("vecadd", "saxpy"):
+        total = sum(traffic[wl]["cachecraft"].values())
+        assert total < 1.15  # <15% above the unprotected total

@@ -1,0 +1,31 @@
+"""F3: where CacheCraft's granule verifications get their sectors."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import f3_reconstruction
+
+
+def test_f3_reconstruction(benchmark, report, shared_harness):
+    out = run_once(benchmark, f3_reconstruction, harness=shared_harness)
+    report(out)
+    sources = out.data["sources"]
+
+    for wl, row in sources.items():
+        shares = (row["demand"] + row["resident_reuse"]
+                  + row["contribution"] + row["verify_fill"])
+        assert abs(shares - 1.0) < 1e-6, wl
+        assert 0 <= row["no_extra_fetch_rate"] <= 1, wl
+
+    # Streaming kernels demand whole granules: nothing to fill.
+    assert sources["vecadd"]["verify_fill"] < 0.05
+    assert sources["vecadd"]["no_extra_fetch_rate"] > 0.9
+
+    # Reuse-heavy irregular kernels verify through retained
+    # contributions — the mechanism the paper's title names.
+    assert sources["histogram"]["contribution"] \
+        + sources["histogram"]["resident_reuse"] > 0.05
+    contrib_total = sum(row["contribution"] for row in sources.values())
+    assert contrib_total > 0.05
+
+    # The cold extreme (pchase) cannot reconstruct: fills dominate.
+    assert sources["pchase"]["verify_fill"] > 0.5

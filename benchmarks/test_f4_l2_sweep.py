@@ -1,0 +1,28 @@
+"""F4: sensitivity to L2 capacity."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis.experiments import f4_l2_sweep
+
+SIZES = (512, 1024, 2048, 4096)
+
+
+def test_f4_l2_sweep(benchmark, report):
+    out = run_once(benchmark, f4_l2_sweep, sizes_kb=SIZES,
+                   scale=BENCH_SCALE)
+    report(out)
+    perf = out.data["perf"]
+
+    # More L2 never makes CacheCraft meaningfully worse, and the span
+    # from smallest to largest is an improvement: its metadata and
+    # reconstruction both live off L2 capacity.
+    cc = [perf[s]["cachecraft"] for s in SIZES]
+    assert cc[-1] > cc[0] - 0.02
+    # CacheCraft's gain from 512K -> 4M is at least as large as the
+    # dedicated-MDC scheme's gain (whose metadata SRAM is fixed).
+    mdc = [perf[s]["metadata-cache"] for s in SIZES]
+    assert (cc[-1] - cc[0]) >= (mdc[-1] - mdc[0]) - 0.05
+    # All values are sane normalized-performance numbers.
+    for size in SIZES:
+        for scheme, value in perf[size].items():
+            assert 0.2 < value < 2.0, (size, scheme, value)

@@ -1,0 +1,30 @@
+"""F5: sensitivity to protection granule size."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis.experiments import f5_granule_sweep
+
+GRANULES = (64, 128, 256, 512)
+
+
+def test_f5_granule_sweep(benchmark, report):
+    out = run_once(benchmark, f5_granule_sweep, granules=GRANULES,
+                   scale=BENCH_SCALE)
+    report(out)
+    perf = out.data["perf"]
+
+    # Bigger granules amortize metadata: capacity overhead strictly falls.
+    overheads = [perf[g]["capacity_overhead"] for g in GRANULES]
+    assert overheads == sorted(overheads, reverse=True)
+
+    # Bigger granules cost performance for blind full-granule fetch
+    # (more overfetch per divergent miss).
+    inline = [perf[g]["inline-full"] for g in GRANULES]
+    assert inline[0] > inline[-1]
+
+    # CacheCraft degrades more gracefully than inline-full: the gap
+    # (cachecraft - inline-full) grows with the granule.
+    gaps = [perf[g]["cachecraft"] - perf[g]["inline-full"] for g in GRANULES]
+    assert gaps[-1] > gaps[0] - 0.03
+    # At the largest granule CacheCraft must be on top.
+    assert perf[512]["cachecraft"] >= perf[512]["inline-full"] - 0.01

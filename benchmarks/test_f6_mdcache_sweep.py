@@ -1,0 +1,24 @@
+"""F6: dedicated metadata-cache capacity vs CacheCraft-in-L2."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis.experiments import f6_metadata_capacity
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def test_f6_mdcache_sweep(benchmark, report):
+    out = run_once(benchmark, f6_metadata_capacity, mdc_sizes_kb=SIZES,
+                   scale=BENCH_SCALE)
+    report(out)
+    mdc = out.data["metadata-cache"]
+    cachecraft = out.data["cachecraft"]["in-L2"]
+
+    # A bigger dedicated cache helps the conventional design.
+    assert mdc[SIZES[-1]] >= mdc[SIZES[0]]
+    # CacheCraft, with zero dedicated metadata SRAM, sits at or above
+    # the small-MDC configurations — the crossover the figure shows.
+    assert cachecraft > mdc[SIZES[0]]
+    assert cachecraft > mdc[16] * 0.97
+    for size in SIZES:
+        assert 0.2 < mdc[size] < 1.5

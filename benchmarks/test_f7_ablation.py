@@ -1,0 +1,28 @@
+"""F7: CacheCraft component ablations."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis.experiments import f7_ablation
+
+
+def test_f7_ablation(benchmark, report):
+    out = run_once(benchmark, f7_ablation, scale=BENCH_SCALE)
+    report(out)
+    data = out.data
+    full = data["full"]
+
+    # Removing the contribution directory costs traffic: every
+    # revisited granule refetches its siblings.
+    assert data["-directory"]["traffic"] >= full["traffic"] - 0.01
+    # Removing reconstruction outright is at least as bad again.
+    assert data["-reconstruction"]["traffic"] >= \
+        data["-directory"]["traffic"] - 0.01
+    # No component *removal* helps performance beyond noise.
+    for label, row in data.items():
+        if label.startswith("-"):
+            assert row["perf"] <= full["perf"] + 0.04, label
+    # A starved craft buffer (8 entries) serializes reconstructions.
+    assert data["craft=8"]["perf"] <= full["perf"] + 0.01
+    # Way partitioning is a viable alternative pollution control:
+    # within a few percent of adaptive insertion either way.
+    assert abs(data["+way-partition"]["perf"] - full["perf"]) < 0.06

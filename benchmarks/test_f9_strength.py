@@ -1,0 +1,28 @@
+"""F9: protection strength vs performance on CacheCraft."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.analysis.experiments import f9_strength
+
+
+def test_f9_strength(benchmark, report):
+    out = run_once(benchmark, f9_strength, scale=BENCH_SCALE)
+    report(out)
+    data = out.data
+
+    # Metadata footprint ordering: SEC-DED = tagged < RS < SEC-DED+MAC.
+    assert data["secded"]["meta_bytes"] == data["tagged"]["meta_bytes"]
+    assert data["rs"]["meta_bytes"] > data["secded"]["meta_bytes"]
+    assert data["secded+mac"]["meta_bytes"] > data["rs"]["meta_bytes"]
+
+    # The tag rides for free: tagged performance == secded within noise.
+    assert abs(data["tagged"]["perf"] - data["secded"]["perf"]) < 0.03
+
+    # Stronger codes cost performance, but the hierarchy stays usable.
+    assert data["secded"]["perf"] >= data["secded+mac"]["perf"] - 0.01
+    for code, row in data.items():
+        assert row["perf"] > 0.4, code
+
+    # The non-linear MAC stack pays extra on the write path (no
+    # incremental codeword update), visible as the largest perf drop.
+    assert data["secded+mac"]["perf"] == min(r["perf"] for r in data.values())

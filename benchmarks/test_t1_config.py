@@ -1,0 +1,14 @@
+"""T1: the simulated system configuration table."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import t1_configuration
+
+
+def test_t1_config(benchmark, report):
+    out = run_once(benchmark, t1_configuration)
+    report(out)
+    labels = [row[0] for row in out.data["rows"]]
+    assert any("L2" in label for label in labels)
+    assert any("DRAM channels" in label for label in labels)
+    assert any("Protection granule" in label for label in labels)

@@ -1,0 +1,22 @@
+"""T2: workload characterization."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis.experiments import t2_workloads
+
+
+def test_t2_workloads(benchmark, report):
+    out = run_once(benchmark, t2_workloads, scale=BENCH_SCALE,
+                   seed=BENCH_SEED)
+    report(out)
+    profiles = out.data["profiles"]
+    # The suite must span the divergence axis end to end.
+    assert profiles["vecadd"].lines_per_op < 2
+    assert profiles["pchase"].lines_per_op > 16
+    assert profiles["vecadd"].sectors_per_granule > 3
+    assert profiles["pchase"].sectors_per_granule < 2
+    # Write-heavy vs read-only representatives exist.
+    assert profiles["pchase"].store_fraction == 0
+    assert profiles["transpose"].store_fraction > 0.2
+    # Footprints exceed the 1 MiB bench L2 for the streaming kernels.
+    assert profiles["vecadd"].footprint_mb > 1.0

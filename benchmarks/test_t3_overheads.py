@@ -1,0 +1,19 @@
+"""T3: protection storage/SRAM overhead summary."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import t3_overheads
+
+
+def test_t3_overheads(benchmark, report):
+    out = run_once(benchmark, t3_overheads)
+    report(out)
+    data = out.data
+    # Unprotected and sideband carve nothing out of addressable DRAM.
+    assert data["none"]["storage"] == 0.0
+    assert data["sideband"]["storage"] == 0.0
+    # Sideband's real cost is extra devices.
+    assert data["sideband"]["device"] > 0.05
+    # Granule codes amortize: the per-sector schemes cost ~4x more capacity.
+    assert data["inline-sector"]["storage"] > 3 * data["cachecraft"]["storage"]
+    assert data["inline-full"]["storage"] == data["cachecraft"]["storage"]

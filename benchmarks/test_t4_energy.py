@@ -1,0 +1,30 @@
+"""T4: relative energy per scheme."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import t4_energy
+
+
+def test_t4_energy(benchmark, report, shared_harness):
+    out = run_once(benchmark, t4_energy, harness=shared_harness)
+    report(out)
+    data = out.data
+    assert data["none"]["relative_energy"] == 1.0
+    # Every inline scheme costs energy over unprotected (geomean over
+    # the representative set).
+    for scheme in ("inline-sector", "metadata-cache", "inline-full",
+                   "cachecraft"):
+        assert data[scheme]["relative_energy"] > 1.0, scheme
+    # Sideband adds only check energy: within a few percent.
+    assert data["sideband"]["relative_energy"] < 1.1
+    # Blind full-granule fetch burns the most energy (DRAM overfetch
+    # dominates); the naive per-miss-metadata scheme is next.
+    assert data["inline-full"]["relative_energy"] == max(
+        d["relative_energy"] for d in data.values())
+    assert data["inline-sector"]["relative_energy"] > \
+        data["metadata-cache"]["relative_energy"]
+    # Reconstruction makes CacheCraft cheaper than blind fetch.
+    assert data["cachecraft"]["relative_energy"] < \
+        data["inline-full"]["relative_energy"]
+    # DRAM dominates the budget in every scheme.
+    assert all(d["dram_share"] > 0.5 for d in data.values())

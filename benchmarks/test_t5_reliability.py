@@ -1,0 +1,29 @@
+"""T5: fault detection/correction coverage per code."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import t5_reliability
+
+
+def test_t5_reliability(benchmark, report):
+    out = run_once(benchmark, t5_reliability, trials=600)
+    report(out)
+    data = out.data
+    hsiao = data["hsiao(266,256)"]
+    rs = data["rs(36,32)"]
+    parity = data["parity8x"]
+
+    # SEC-DED: all singles corrected, all doubles caught.
+    assert hsiao["single-bit"]["corrected_rate"] \
+        + hsiao["single-bit"]["benign_rate"] == 1.0
+    assert hsiao["2-random-bits"]["sdc_rate"] == 0.0
+    # Chipkill-class RS: whole-symbol faults fully corrected.
+    assert rs["chip-8b"]["corrected_rate"] == 1.0
+    assert rs["burst-4"]["sdc_rate"] <= hsiao["burst-4"]["sdc_rate"]
+    # Parity corrects nothing.
+    assert parity["single-bit"]["corrected_rate"] == 0.0
+    # CRC detects everything thrown at it here (detection-only).
+    crc = data["crc32"]
+    for fault in crc.values():
+        assert fault["sdc_rate"] == 0.0
+        assert fault["corrected_rate"] == 0.0

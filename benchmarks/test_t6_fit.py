@@ -1,0 +1,25 @@
+"""T6: system-level FIT projection per code."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import t6_fit_projection
+
+
+def test_t6_fit_projection(benchmark, report):
+    out = run_once(benchmark, t6_fit_projection, trials=600)
+    report(out)
+    by_name = out.data
+    parity = next(v for k, v in by_name.items() if "parity" in k)
+    hsiao = next(v for k, v in by_name.items() if k.startswith("hsiao"))
+    inter = next(v for k, v in by_name.items() if "interleaved" in k)
+    rs = next(v for k, v in by_name.items() if k.startswith("rs"))
+
+    # Symbol and interleaved codes eliminate SDC under this event mix.
+    assert rs.sdc_fit == 0.0
+    assert inter.sdc_fit == 0.0
+    # The monolithic SEC-DED trap: burst miscorrection makes its SDC
+    # budget worse than detection-only parity.
+    assert hsiao.sdc_fit > parity.sdc_fit > 0.0
+    # Correction shifts the budget from DUE to corrected.
+    assert rs.corrected_fit > hsiao.corrected_fit > parity.corrected_fit
+    assert parity.due_fit > rs.due_fit

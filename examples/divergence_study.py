@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The divergence axis: what memory protection really costs and when.
+
+Sweeps the synthetic divergence workload from 'one sector per granule'
+(pointer-chase-like) to 'every sector' (streaming-like) and shows how
+each scheme's cost moves along that axis — the distilled version of
+experiments F1 and F8.
+
+Run:  python examples/divergence_study.py
+"""
+
+from repro import GenContext, SystemConfig, make_workload, run_workload
+from repro.analysis.tables import format_series
+
+
+def main() -> None:
+    config = SystemConfig().with_gpu(num_sms=4, warps_per_sm=8,
+                                     l2_size_kb=1024)
+    schemes = ("metadata-cache", "inline-full", "cachecraft")
+    densities = (0.25, 0.5, 0.75, 1.0)
+
+    table = {scheme: [] for scheme in schemes}
+    for density in densities:
+        workload = make_workload("divergence", density=density)
+        gen = GenContext(num_sms=4, warps_per_sm=8, scale=0.15, seed=5)
+        print(f"density {density}: unprotected ...")
+        baseline = run_workload(workload, config, gen_ctx=gen)
+        for scheme in schemes:
+            print(f"density {density}: {scheme} ...")
+            result = run_workload(workload, config.with_scheme(scheme),
+                                  gen_ctx=gen)
+            table[scheme].append(result.performance_vs(baseline))
+
+    print()
+    print(format_series(
+        "sectors/granule density", list(densities),
+        [(scheme, values) for scheme, values in table.items()],
+        title="normalized performance vs divergence"))
+    print()
+    print("Reading the shape: at density 1.0 every scheme nearly ties —")
+    print("whole granules are demanded anyway.  As density falls, blind")
+    print("full-granule fetch pays 4x overfetch; CacheCraft claws back")
+    print("whatever reconstruction and retained contributions can cover.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""End-to-end fault injection: soft errors meeting real ECC.
+
+Runs CacheCraft in *functional* mode — every granule verification runs
+a real SEC-DED decode over real bytes in a backing store — then strikes
+the memory with single-bit, double-bit and chip-style faults and shows
+what the protection reports.
+
+Run:  python examples/fault_injection.py
+"""
+
+import random
+
+from repro import GenContext, SystemConfig, make_workload
+from repro.core.system import GpuSystem
+
+
+def run_campaign(code_name: str, faults: str, n_faults: int,
+                 seed: int = 3) -> dict:
+    """One simulated run with faults pre-planted in touched memory."""
+    config = SystemConfig().with_gpu(num_sms=2, warps_per_sm=4,
+                                     l2_size_kb=256, num_slices=2)
+    config = config.with_scheme("cachecraft", code_name=code_name)
+    config = config.with_protection(functional=True)
+    system = GpuSystem(config)
+
+    gen = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=seed)
+    gen = system.load_workload(make_workload("vecadd"), gen)
+
+    # Plant faults inside the workload's footprint so they get read.
+    rng = random.Random(seed)
+    footprint_base = 1 << 20
+    footprint_span = 256 * 1024
+    for _ in range(n_faults):
+        addr = footprint_base + rng.randrange(footprint_span // 32) * 32
+        if faults == "single":
+            system.functional.inject_bit_flip(addr, rng.randrange(256))
+        elif faults == "double":
+            granule_base = addr - addr % 128
+            bits = rng.sample(range(128 * 8), 2)
+            for bit in bits:
+                system.functional.inject_bit_flip(
+                    granule_base + (bit // 8 // 32) * 32,
+                    (bit % 256) % 256)
+        elif faults == "chip":
+            base_bit = rng.randrange(32) * 8
+            for bit in range(base_bit, base_bit + 8):
+                system.functional.inject_bit_flip(addr, bit)
+
+    system.run()
+    flat = system.stats.flatten()
+    return {
+        "clean": int(flat["protection.cachecraft.decode_clean"]),
+        "corrected": int(flat["protection.cachecraft.decode_corrected"]),
+        "detected": int(flat["protection.cachecraft.decode_due"]),
+    }
+
+
+def main() -> None:
+    print("CacheCraft functional-mode fault injection (vecadd, SEC-DED "
+          "and RS codes)\n")
+    header = f"{'code':10s} {'fault model':12s} {'clean':>7} " \
+             f"{'corrected':>10} {'detected':>9}"
+    print(header)
+    print("-" * len(header))
+    for code in ("secded", "rs"):
+        for faults, count in (("single", 40), ("double", 40), ("chip", 40)):
+            outcome = run_campaign(code, faults, count)
+            print(f"{code:10s} {faults:12s} {outcome['clean']:>7} "
+                  f"{outcome['corrected']:>10} {outcome['detected']:>9}")
+    print()
+    print("Expected shape: SEC-DED corrects singles and *detects* doubles")
+    print("and chip faults; RS (t=2 symbols) also corrects the chip faults.")
+
+
+if __name__ == "__main__":
+    main()

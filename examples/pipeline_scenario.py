@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Producer->consumer pipelines: protection state outlives kernels.
+
+A scatter-write kernel produces a buffer; a gather kernel consumes it.
+Under CacheCraft the producer's verifications populate the contribution
+directory, so the consumer's lone-sector reads verify without
+refetching granules — even though the L2 itself turned over completely
+between the launches.
+
+Run:  python examples/pipeline_scenario.py
+"""
+
+from repro import GenContext, SystemConfig, make_workload
+from repro.analysis.tables import format_table
+from repro.core.scenario import KernelLaunch, Scenario
+
+
+def run_variant(label: str, scheme: str, **overrides) -> dict:
+    config = SystemConfig().with_gpu(num_sms=4, warps_per_sm=8,
+                                     l2_size_kb=1024)
+    config = config.with_scheme(scheme, **overrides)
+    footprint = 8 << 20
+    producer = make_workload("uniform-random", write_fraction=0.5,
+                             footprint_bytes=footprint)
+    consumer = make_workload("uniform-random", write_fraction=0.0,
+                             footprint_bytes=footprint)
+    scenario = Scenario([KernelLaunch(producer, seed=42),
+                         KernelLaunch(consumer, seed=43)], config=config)
+    gen = GenContext(num_sms=4, warps_per_sm=8, scale=0.2, seed=42)
+    print(f"running {label} ...")
+    outcome = scenario.run(gen_ctx=gen)
+    consumer_result = outcome.kernels[1]
+    return {
+        "label": label,
+        "consumer_cycles": consumer_result.cycles,
+        "consumer_fills_kb": consumer_result.traffic.get("verify_fill",
+                                                         0) // 1024,
+        "total_cycles": outcome.total_cycles,
+    }
+
+
+def main() -> None:
+    rows = []
+    for label, scheme, overrides in (
+        ("metadata-cache", "metadata-cache", {}),
+        ("inline-full", "inline-full", {}),
+        ("cachecraft, no directory", "cachecraft",
+         {"directory_entries": 0}),
+        ("cachecraft", "cachecraft", {}),
+    ):
+        v = run_variant(label, scheme, **overrides)
+        rows.append([v["label"], v["consumer_cycles"],
+                     v["consumer_fills_kb"], v["total_cycles"]])
+    print()
+    print(format_table(
+        ["variant", "consumer cycles", "consumer fills KiB", "total cycles"],
+        rows, title="producer -> consumer over a shared 8 MiB buffer"))
+    print()
+    print("The directory rows differ only in whether reconstructed")
+    print("protection state persists: the consumer's verification fills")
+    print("drop by half or more when it does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare every protection scheme on a workload of your choice.
+
+This is a miniature of the paper's headline experiment (F1): one
+workload, all six schemes, normalized performance plus the DRAM
+traffic breakdown that explains it.
+
+Run:  python examples/protection_sweep.py [workload] [scale]
+      python examples/protection_sweep.py bfs 0.2
+"""
+
+import sys
+
+from repro import ALL_SCHEMES, GenContext, SystemConfig, make_workload, run_workload
+from repro.analysis.tables import format_bar, format_table
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+
+    config = SystemConfig().with_gpu(num_sms=4, warps_per_sm=8,
+                                     l2_size_kb=1024)
+    gen = GenContext(num_sms=4, warps_per_sm=8, scale=scale, seed=11)
+    workload = make_workload(workload_name)
+
+    results = {}
+    for scheme in ALL_SCHEMES:
+        print(f"simulating {workload_name} under {scheme} ...")
+        results[scheme] = run_workload(
+            workload, config.with_scheme(scheme), gen_ctx=gen)
+
+    baseline = results["none"]
+    rows = []
+    for scheme, result in results.items():
+        perf = result.performance_vs(baseline)
+        rows.append([
+            scheme,
+            perf,
+            format_bar(perf, scale=30),
+            result.total_dram_bytes // 1024,
+            result.traffic.get("metadata", 0) // 1024,
+            result.traffic.get("verify_fill", 0) // 1024,
+            f"{result.storage_overhead:.2%}",
+        ])
+    print()
+    print(format_table(
+        ["scheme", "norm perf", "", "DRAM KiB", "meta KiB", "fill KiB",
+         "capacity ovh"],
+        rows, title=f"protection sweep: {workload_name} (scale {scale})"))
+
+
+if __name__ == "__main__":
+    main()

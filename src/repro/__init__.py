@@ -1,0 +1,63 @@
+"""CacheCraft reproduction: GPU performance under memory protection
+through reconstructed caching.
+
+Public API tour
+---------------
+
+Run one workload under one protection scheme::
+
+    from repro import SystemConfig, run_workload, make_workload
+
+    config = SystemConfig().with_scheme("cachecraft")
+    result = run_workload(make_workload("spmv"), config)
+    print(result.cycles, result.traffic)
+
+Compare schemes (the headline experiment)::
+
+    from repro.analysis import compare_schemes
+
+    table = compare_schemes("spmv", schemes=("none", "inline-full",
+                                             "cachecraft"))
+
+The package layout mirrors the simulated machine: :mod:`repro.ecc`
+(codes), :mod:`repro.cache` / :mod:`repro.dram` / :mod:`repro.gpu`
+(substrates), :mod:`repro.protection` (baseline schemes),
+:mod:`repro.core` (CacheCraft + system assembly),
+:mod:`repro.workloads` (trace generators) and :mod:`repro.analysis`
+(experiment harness).  DESIGN.md documents the reconstruction scope and
+EXPERIMENTS.md the reproduced tables/figures.
+"""
+
+from repro.core.config import (
+    ALL_SCHEMES,
+    PROTECTED_SCHEMES,
+    GpuConfig,
+    ProtectionConfig,
+    SystemConfig,
+    test_config,
+)
+from repro.core.results import RunResult
+from repro.core.system import GpuSystem, run_workload
+from repro.protection.base import make_scheme
+from repro.workloads import REPRESENTATIVE_WORKLOADS, WORKLOADS, make_workload
+from repro.workloads.base import GenContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GpuConfig",
+    "ProtectionConfig",
+    "SystemConfig",
+    "GpuSystem",
+    "RunResult",
+    "run_workload",
+    "make_scheme",
+    "make_workload",
+    "GenContext",
+    "ALL_SCHEMES",
+    "PROTECTED_SCHEMES",
+    "WORKLOADS",
+    "REPRESENTATIVE_WORKLOADS",
+    "test_config",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Experiment harness and reporting.
+
+* :mod:`repro.analysis.harness` — run matrices of (workload, scheme)
+  simulations with consistent sizing;
+* :mod:`repro.analysis.tables` — ASCII table/series formatting used by
+  every benchmark's output;
+* :mod:`repro.analysis.energy` — the first-order energy model (T4);
+* :mod:`repro.analysis.characterize` — trace-level workload
+  characterization (T2);
+* :mod:`repro.analysis.experiments` — one entry point per reproduced
+  table/figure (T1-T5, F1-F9); the ``benchmarks/`` tree calls these.
+"""
+
+from repro.analysis.bottleneck import BottleneckReport, analyze
+from repro.analysis.harness import (
+    ExperimentHarness,
+    bench_config,
+    bench_gen_ctx,
+    compare_schemes,
+    geomean,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.validation import validate_drained, validate_result
+
+__all__ = [
+    "ExperimentHarness",
+    "bench_config",
+    "bench_gen_ctx",
+    "compare_schemes",
+    "geomean",
+    "format_table",
+    "format_series",
+    "analyze",
+    "BottleneckReport",
+    "validate_result",
+    "validate_drained",
+]

@@ -1,0 +1,112 @@
+"""Bottleneck attribution.
+
+Given a finished run, classify what bound it: DRAM bandwidth, memory
+latency/queueing, or neither (compute/occupancy).  The classification
+uses only recorded statistics, so it works on any
+:class:`~repro.core.results.RunResult`:
+
+* **bandwidth-bound** — the busiest channel's data bus was occupied
+  most of the run (protection overfetch lands here);
+* **latency-bound** — DRAM read latency is far above the unloaded
+  access time while the bus sits idle (pointer-chase-like; protection
+  *serialization* lands here);
+* **compute/occupancy-bound** — memory was neither saturated nor slow;
+  added protection costs should barely show.
+
+This is the first tool to reach for when a scheme comparison surprises:
+it says which resource the scheme change actually moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import SystemConfig
+from repro.core.results import RunResult
+
+#: Utilization above which the data bus is considered saturated.
+BANDWIDTH_THRESHOLD = 0.70
+#: Load latency above this multiple of the unloaded latency means queueing.
+LATENCY_MULTIPLE = 3.0
+
+
+@dataclass
+class BottleneckReport:
+    """Where a run's cycles went."""
+
+    classification: str
+    #: Busiest channel's data-bus utilization in [0, 1].
+    peak_bus_utilization: float
+    #: Mean DRAM read latency over the unloaded row-miss latency.
+    latency_multiple: float
+    per_channel_utilization: List[float]
+    l1_hit_rate: float
+    l2_hit_rate: float
+    notes: List[str]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "classification": self.classification,
+            "peak_bus_utilization": round(self.peak_bus_utilization, 3),
+            "latency_multiple": round(self.latency_multiple, 2),
+            "l1_hit_rate": round(self.l1_hit_rate, 3),
+            "l2_hit_rate": round(self.l2_hit_rate, 3),
+            "notes": list(self.notes),
+        }
+
+
+def analyze(result: RunResult, config: SystemConfig) -> BottleneckReport:
+    """Attribute a finished run's cycles to a bottleneck."""
+    gpu = config.gpu
+    cycles = max(1, result.cycles)
+
+    # Per-channel bus occupancy from atom counts.
+    utilizations = []
+    for slice_id in range(gpu.num_slices):
+        atoms = (result.stat(f"dram{slice_id}.reads", 0.0)
+                 + result.stat(f"dram{slice_id}.writes", 0.0))
+        utilizations.append(min(1.0, atoms * gpu.dram.t_burst / cycles))
+    peak = max(utilizations) if utilizations else 0.0
+
+    # Loaded vs unloaded read latency.
+    lat_sum = 0.0
+    lat_n = 0
+    for slice_id in range(gpu.num_slices):
+        mean = result.stats.get(f"dram{slice_id}.read_latency.mean")
+        count = result.stats.get(f"dram{slice_id}.read_latency.count", 0)
+        if mean and count:
+            lat_sum += mean * count
+            lat_n += count
+    loaded = lat_sum / lat_n if lat_n else 0.0
+    unloaded = gpu.dram.row_miss_latency
+    multiple = loaded / unloaded if unloaded else 0.0
+
+    notes: List[str] = []
+    if utilizations and max(utilizations) - min(utilizations) > 0.25:
+        notes.append("channel imbalance: hot partition")
+    if result.stat("craft_full_stalls") > 0:
+        notes.append("craft buffer capacity stalls observed")
+    if result.stat("storebuf.full_rejections") > 0:
+        notes.append("store buffer backpressure observed")
+    if result.stat("mshr_retries") > 0:
+        notes.append("L2 MSHR occupancy stalls observed")
+
+    if peak >= BANDWIDTH_THRESHOLD:
+        classification = "bandwidth-bound"
+    elif multiple >= LATENCY_MULTIPLE:
+        classification = "latency-bound"
+    else:
+        classification = "compute/occupancy-bound"
+
+    l1 = result.l1_hit_rate() or 0.0
+    l2 = result.l2_hit_rate() or 0.0
+    return BottleneckReport(
+        classification=classification,
+        peak_bus_utilization=peak,
+        latency_multiple=multiple,
+        per_channel_utilization=utilizations,
+        l1_hit_rate=l1,
+        l2_hit_rate=l2,
+        notes=notes,
+    )

@@ -1,0 +1,97 @@
+"""Trace-level workload characterization (Table T2).
+
+Characterization runs over generated traces directly — no simulation —
+so it measures intrinsic workload properties: footprint, the density of
+sectors touched per protection granule (the quantity that decides how
+much a full-granule-fetch scheme overfetches), write fraction, and
+compute intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.gpu.coalescer import coalesce
+from repro.gpu.trace import ComputeOp, MemoryOp
+from repro.workloads.base import GenContext, Workload
+
+
+@dataclass
+class WorkloadProfile:
+    """Static characterization of one workload's traces."""
+
+    name: str
+    category: str
+    warp_instructions: int
+    memory_ops: int
+    store_fraction: float
+    footprint_mb: float
+    #: Mean distinct lines touched per memory op (1 = coalesced, 32 = divergent).
+    lines_per_op: float
+    #: Mean sectors per touched granule over the whole run (the F8 axis).
+    sectors_per_granule: float
+    compute_fraction: float
+    #: Compute cycles per memory op — the arithmetic-intensity proxy.
+    compute_per_memop: float
+
+    def as_row(self) -> list:
+        return [self.name, self.category, self.memory_ops,
+                round(self.store_fraction, 2), round(self.footprint_mb, 1),
+                round(self.lines_per_op, 1),
+                round(self.sectors_per_granule, 2),
+                round(self.compute_per_memop, 1)]
+
+    ROW_HEADERS = ["workload", "category", "mem ops", "store frac",
+                   "footprint MB", "lines/op", "sectors/granule",
+                   "compute cyc/memop"]
+
+
+def profile_workload(workload: Workload, ctx: GenContext,
+                     granule_bytes: int = 128) -> WorkloadProfile:
+    """Analyze every warp trace of a workload."""
+    total_ops = 0
+    memory_ops = 0
+    stores = 0
+    compute_ops = 0
+    compute_cycles = 0
+    lines_touched_sum = 0
+    sectors: Set[int] = set()
+    granule_sectors: Dict[int, Set[int]] = {}
+
+    for sm in range(ctx.num_sms):
+        for warp in range(ctx.warps_per_sm):
+            for op in workload.warp_trace(sm, warp, ctx):
+                total_ops += 1
+                if isinstance(op, ComputeOp):
+                    compute_ops += 1
+                    compute_cycles += op.cycles
+                    continue
+                assert isinstance(op, MemoryOp)
+                memory_ops += 1
+                if op.is_store:
+                    stores += 1
+                txns = coalesce(op.addresses, ctx.line_bytes, ctx.sector_bytes)
+                lines_touched_sum += len(txns)
+                for addr in op.addresses:
+                    sector = addr // ctx.sector_bytes
+                    sectors.add(sector)
+                    granule = addr // granule_bytes
+                    granule_sectors.setdefault(granule, set()).add(sector)
+
+    sectors_per_granule = (
+        sum(len(s) for s in granule_sectors.values()) / len(granule_sectors)
+        if granule_sectors else 0.0
+    )
+    return WorkloadProfile(
+        name=workload.name,
+        category=workload.category,
+        warp_instructions=total_ops,
+        memory_ops=memory_ops,
+        store_fraction=stores / memory_ops if memory_ops else 0.0,
+        footprint_mb=len(sectors) * ctx.sector_bytes / (1 << 20),
+        lines_per_op=lines_touched_sum / memory_ops if memory_ops else 0.0,
+        sectors_per_granule=sectors_per_granule,
+        compute_fraction=compute_ops / total_ops if total_ops else 0.0,
+        compute_per_memop=compute_cycles / memory_ops if memory_ops else 0.0,
+    )

@@ -1,0 +1,67 @@
+"""First-order energy model (Table T4).
+
+The paper would use CACTI/RTL numbers; we substitute published
+per-access energy constants (order-of-magnitude, 7 nm-class) and report
+*relative* energy only.  The constants are module-level so a user can
+recalibrate them against their own technology numbers.
+
+Components counted:
+
+* DRAM: per byte transferred (dominates, and is what protection
+  schemes inflate);
+* L2 and L1: per sector-sized access;
+* dedicated metadata-cache SRAM: per access;
+* ECC check: per granule verification;
+* craft buffer and contribution directory: per granule operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.results import RunResult
+
+#: Energy constants in picojoules.
+DRAM_PJ_PER_BYTE = 15.0
+L2_PJ_PER_ACCESS = 8.0
+L1_PJ_PER_ACCESS = 2.0
+MDC_PJ_PER_ACCESS = 1.5
+ECC_CHECK_PJ_PER_GRANULE = 3.0
+CRAFT_PJ_PER_GRANULE = 1.0
+
+
+def energy_breakdown(result: RunResult) -> Dict[str, float]:
+    """Picojoules per component for one run."""
+    dram = result.total_dram_bytes * DRAM_PJ_PER_BYTE
+
+    l1_accesses = (result.stat("l1.hits") + result.stat("l1.sector_misses")
+                   + result.stat("l1.line_misses"))
+    l2_accesses = (result.stat("cache.hits") + result.stat("cache.sector_misses")
+                   + result.stat("cache.line_misses"))
+    l1 = l1_accesses * L1_PJ_PER_ACCESS
+    l2 = l2_accesses * L2_PJ_PER_ACCESS
+
+    mdc = (result.stat("mdc_hits") + result.stat("mdc_misses")) \
+        * MDC_PJ_PER_ACCESS
+
+    checks = (result.stat("decode_clean") + result.stat("decode_corrected")
+              + result.stat("decode_due"))
+    ecc = checks * ECC_CHECK_PJ_PER_GRANULE
+
+    craft = result.stat("granules_verified") * CRAFT_PJ_PER_GRANULE
+
+    return {"dram": dram, "l2": l2, "l1": l1, "mdc": mdc,
+            "ecc_check": ecc, "craft": craft}
+
+
+def total_energy(result: RunResult) -> float:
+    """Total picojoules across every modeled component."""
+    return sum(energy_breakdown(result).values())
+
+
+def relative_energy(result: RunResult, baseline: RunResult) -> float:
+    """Energy normalized to a baseline run of the same workload."""
+    if result.workload != baseline.workload:
+        raise ValueError("relative energy requires the same workload")
+    base = total_energy(baseline)
+    return total_energy(result) / base if base else 0.0

@@ -1,0 +1,129 @@
+"""Run matrices of simulations with consistent sizing.
+
+The benchmark configuration is deliberately smaller than the default
+machine (4 SMs, 1 MiB L2, 4 channels, scale 0.3) so a full
+(14 workloads x 6 schemes) matrix finishes in minutes of host time
+while keeping the capacity ratios that drive the results.  Every
+experiment runs through :class:`ExperimentHarness` so results are
+cached per (workload, scheme, config) within a process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import ALL_SCHEMES, SystemConfig
+from repro.core.results import RunResult
+from repro.core.system import run_workload
+from repro.workloads import make_workload
+from repro.workloads.base import GenContext, Workload
+
+
+def bench_config(**gpu_overrides) -> SystemConfig:
+    """The standard benchmark machine (Table T1's 'simulated' column)."""
+    defaults = dict(num_sms=4, warps_per_sm=8, l2_size_kb=1024, num_slices=4)
+    defaults.update(gpu_overrides)
+    return SystemConfig().with_gpu(**defaults)
+
+
+def bench_gen_ctx(config: SystemConfig, scale: float = 0.3,
+                  seed: int = 42) -> GenContext:
+    """A GenContext matching a config's machine shape."""
+    gpu = config.gpu
+    return GenContext(num_sms=gpu.num_sms, warps_per_sm=gpu.warps_per_sm,
+                      lanes=gpu.lanes, seed=seed, scale=scale,
+                      line_bytes=gpu.line_bytes, sector_bytes=gpu.sector_bytes)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the standard cross-workload summary)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class ExperimentHarness:
+    """Runs and caches (workload, scheme) simulations."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 scale: float = 0.3, seed: int = 42,
+                 workload_params: Optional[Dict[str, dict]] = None):
+        self.config = config or bench_config()
+        self.scale = scale
+        self.seed = seed
+        self.workload_params = workload_params or {}
+        self._cache: Dict[Tuple, RunResult] = {}
+
+    def _gen_ctx(self, config: SystemConfig) -> GenContext:
+        return bench_gen_ctx(config, scale=self.scale, seed=self.seed)
+
+    def _build_workload(self, name: str) -> Workload:
+        return make_workload(name, **self.workload_params.get(name, {}))
+
+    def run(self, workload: str, scheme: str,
+            config: Optional[SystemConfig] = None, **protection_overrides
+            ) -> RunResult:
+        """Run (or fetch from cache) one simulation."""
+        cfg = (config or self.config).with_scheme(scheme,
+                                                  **protection_overrides)
+        key = (workload, scheme, cfg, self.scale, self.seed,
+               tuple(sorted(self.workload_params.get(workload, {}).items())))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = run_workload(self._build_workload(workload), cfg,
+                              gen_ctx=self._gen_ctx(cfg))
+        self._cache[key] = result
+        return result
+
+    def matrix(self, workloads: Sequence[str],
+               schemes: Sequence[str] = ALL_SCHEMES,
+               config: Optional[SystemConfig] = None
+               ) -> Dict[str, Dict[str, RunResult]]:
+        """``{workload: {scheme: result}}`` for a full grid."""
+        return {
+            wl: {sc: self.run(wl, sc, config=config) for sc in schemes}
+            for wl in workloads
+        }
+
+    def normalized_performance(self, workloads: Sequence[str],
+                               schemes: Sequence[str] = ALL_SCHEMES,
+                               baseline: str = "none"
+                               ) -> Dict[str, Dict[str, float]]:
+        """Per-workload performance of each scheme relative to baseline,
+        plus a ``geomean`` pseudo-workload row."""
+        grid = self.matrix(workloads, schemes)
+        out: Dict[str, Dict[str, float]] = {}
+        for wl, by_scheme in grid.items():
+            base = by_scheme[baseline]
+            out[wl] = {sc: r.performance_vs(base) for sc, r in by_scheme.items()}
+        out["geomean"] = {
+            sc: geomean(out[wl][sc] for wl in grid) for sc in schemes
+        }
+        return out
+
+
+def compare_schemes(workload: str,
+                    schemes: Sequence[str] = ALL_SCHEMES,
+                    config: Optional[SystemConfig] = None,
+                    scale: float = 0.3, seed: int = 42) -> List[dict]:
+    """One-call scheme comparison for a single workload.
+
+    Returns a list of row dicts (scheme, norm_perf, cycles, dram_bytes,
+    overhead_bytes) normalized to the first scheme in ``schemes``.
+    """
+    harness = ExperimentHarness(config=config, scale=scale, seed=seed)
+    results = [harness.run(workload, scheme) for scheme in schemes]
+    base = results[0]
+    rows = []
+    for result in results:
+        rows.append({
+            "scheme": result.scheme,
+            "norm_perf": result.performance_vs(base),
+            "cycles": result.cycles,
+            "dram_bytes": result.total_dram_bytes,
+            "overhead_bytes": result.overhead_bytes,
+        })
+    return rows

@@ -1,0 +1,123 @@
+"""System-level reliability projection.
+
+Fault-injection campaigns (:mod:`repro.ecc.faults`) measure *per-event*
+outcomes; this module scales them to *per-system* rates the way the
+reliability sections of memory-protection papers do:
+
+    FIT(outcome) = event_rate_FIT_per_Mbit x capacity_Mbit
+                   x P(event) x P(outcome | event)
+
+with an event mix (how often an error event is a single bit vs a burst
+vs a chip failure) taken from field/beam studies.  The default mix
+follows the qualitative shape of published GPU DRAM beam data: mostly
+single bits, a substantial spatially-clustered minority, rare whole-
+chip events.
+
+Outputs are FIT (failures per 10^9 device-hours) split into corrected /
+detected-uncorrectable (DUE) / silent-data-corruption (SDC) — the three
+numbers that matter for an availability budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.ecc.base import ErrorCode
+from repro.ecc.faults import (
+    BurstFault,
+    ChipFault,
+    FaultCampaign,
+    FaultModel,
+    MultiBitFault,
+    SingleBitFault,
+)
+
+#: Baseline raw error-event rate, FIT per Mbit (order of magnitude from
+#: published DRAM field studies; the projection is relative anyway).
+DEFAULT_EVENT_FIT_PER_MBIT = 25.0
+
+#: Default event mix: P(event class) summing to 1.
+DEFAULT_EVENT_MIX: Dict[str, float] = {
+    "single-bit": 0.70,
+    "2-random-bits": 0.08,
+    "burst-4": 0.20,
+    "chip-8b": 0.02,
+}
+
+
+def default_fault_models() -> List[FaultModel]:
+    """The fault models matching :data:`DEFAULT_EVENT_MIX`'s keys."""
+    return [SingleBitFault(), MultiBitFault(2), BurstFault(4), ChipFault(8)]
+
+
+@dataclass
+class ReliabilityProjection:
+    """FIT budget for one code protecting one memory capacity."""
+
+    code_name: str
+    capacity_gb: float
+    corrected_fit: float
+    due_fit: float
+    sdc_fit: float
+    #: Per-event-class outcome rates backing the projection.
+    per_event: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def total_event_fit(self) -> float:
+        return self.corrected_fit + self.due_fit + self.sdc_fit
+
+    def as_row(self) -> list:
+        return [self.code_name, round(self.corrected_fit, 2),
+                round(self.due_fit, 2), round(self.sdc_fit, 4)]
+
+    ROW_HEADERS = ["code", "corrected FIT", "DUE FIT", "SDC FIT"]
+
+
+def project(code: ErrorCode, capacity_gb: float = 16.0,
+            event_mix: Dict[str, float] = None,
+            fault_models: Sequence[FaultModel] = None,
+            trials: int = 1000, seed: int = 11,
+            event_fit_per_mbit: float = DEFAULT_EVENT_FIT_PER_MBIT
+            ) -> ReliabilityProjection:
+    """Monte-Carlo the per-event outcomes, then scale to system FIT."""
+    mix = dict(event_mix or DEFAULT_EVENT_MIX)
+    models = list(fault_models or default_fault_models())
+    by_name = {m.name: m for m in models}
+    missing = set(mix) - set(by_name)
+    if missing:
+        raise ValueError(f"event mix names without fault models: {missing}")
+    total_p = sum(mix.values())
+    if not 0.99 < total_p < 1.01:
+        raise ValueError(f"event mix must sum to 1 (got {total_p})")
+
+    capacity_mbit = capacity_gb * 8 * 1024
+    system_event_fit = event_fit_per_mbit * capacity_mbit
+
+    campaign = FaultCampaign(code, seed=seed)
+    corrected = due = sdc = 0.0
+    per_event: Dict[str, Dict[str, float]] = {}
+    for name, probability in mix.items():
+        result = campaign.run(by_name[name], trials)
+        rates = result.as_dict()
+        per_event[name] = rates
+        weight = probability * system_event_fit
+        # Benign events (flips confined to check bits that decode
+        # around) fold into "corrected" for budgeting purposes.
+        corrected += weight * (rates["corrected_rate"]
+                               + rates["benign_rate"])
+        due += weight * rates["detected_rate"]
+        sdc += weight * rates["sdc_rate"]
+
+    return ReliabilityProjection(
+        code_name=code.spec.name, capacity_gb=capacity_gb,
+        corrected_fit=corrected, due_fit=due, sdc_fit=sdc,
+        per_event=per_event)
+
+
+def compare_codes(codes: Sequence[ErrorCode], capacity_gb: float = 16.0,
+                  trials: int = 600, seed: int = 11
+                  ) -> List[ReliabilityProjection]:
+    """Project every code at the same capacity and event mix."""
+    return [project(code, capacity_gb=capacity_gb, trials=trials, seed=seed)
+            for code in codes]

@@ -1,0 +1,64 @@
+"""ASCII table and series formatting.
+
+Every benchmark prints its reproduced table/figure through these, so
+the output format is uniform and EXPERIMENTS.md can paste it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 3) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_render(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(x_label: str, xs: Sequence[Cell],
+                  series: Sequence[tuple], title: Optional[str] = None,
+                  precision: int = 3) -> str:
+    """Render figure data: one x column plus one column per series.
+
+    ``series`` is ``[(name, [y, ...]), ...]`` with each y-list matching
+    ``xs`` in length.
+    """
+    headers = [x_label] + [name for name, _ys in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [ys[i] if i < len(ys) else None
+                           for _name, ys in series])
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_bar(value: float, scale: float = 40.0, maximum: float = 1.0) -> str:
+    """A crude inline bar for quick visual scanning of figure output."""
+    filled = int(round(scale * min(value, maximum) / maximum))
+    return "#" * filled

@@ -1,0 +1,43 @@
+"""Cache substrate: sectored caches, replacement policies, MSHRs.
+
+GPU caches are *sectored*: a line (128 B here) has one tag but is
+filled and validated 32 B at a time, so divergent access patterns do
+not pay full-line fetch bandwidth.  This package provides:
+
+* :mod:`repro.cache.replacement` — LRU, Tree-PLRU, SRRIP and random
+  replacement, all behind one per-set interface;
+* :mod:`repro.cache.sectored` — the sectored set-associative cache with
+  per-sector valid/dirty/*verified* state (the verified bit is what the
+  CacheCraft protection layer builds on);
+* :mod:`repro.cache.mshr` — miss-status holding registers with
+  same-line merge;
+* :mod:`repro.cache.slicing` — address hashing across L2 slices.
+"""
+
+from repro.cache.mshr import MshrEntry, MshrFile
+from repro.cache.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SrripPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.cache.sectored import CacheLine, Eviction, LookupResult, SectoredCache
+from repro.cache.slicing import SliceHasher
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "TreePlruPolicy",
+    "SrripPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "SectoredCache",
+    "CacheLine",
+    "LookupResult",
+    "Eviction",
+    "MshrFile",
+    "MshrEntry",
+    "SliceHasher",
+]

@@ -1,0 +1,191 @@
+"""Replacement policies.
+
+Each policy manages one set of ``ways`` ways and answers two questions:
+which way to victimize, and how to update state on an access.  The
+cache calls ``on_fill`` for insertions so policies that distinguish
+insertion from promotion (SRRIP, and the CacheCraft adaptive-insertion
+variant built on it) can act differently.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence
+
+
+class ReplacementPolicy(abc.ABC):
+    """Per-set replacement state."""
+
+    def __init__(self, ways: int):
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        self.ways = ways
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Pick a way to evict (caller handles invalid ways first)."""
+
+    def victim_among(self, allowed: Sequence[int]) -> int:
+        """Pick a victim restricted to ``allowed`` ways (way
+        partitioning).  The default asks for the global victim and
+        falls back to the first allowed way when it is outside the
+        partition — subclasses with ordered state refine this."""
+        if not allowed:
+            raise ValueError("empty allowed-way set")
+        candidate = self.victim()
+        return candidate if candidate in allowed else allowed[0]
+
+    @abc.abstractmethod
+    def on_access(self, way: int) -> None:
+        """A hit touched this way."""
+
+    @abc.abstractmethod
+    def on_fill(self, way: int, low_priority: bool = False) -> None:
+        """A new line was inserted into this way.
+
+        ``low_priority`` hints that the line should be evicted sooner
+        than a regular insertion (used for metadata lines under the
+        adaptive-insertion ablations).
+        """
+
+
+class LruPolicy(ReplacementPolicy):
+    """True LRU via an ordered list of ways (MRU at the back)."""
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._order: List[int] = list(range(ways))
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def victim_among(self, allowed: Sequence[int]) -> int:
+        allowed_set = set(allowed)
+        for way in self._order:
+            if way in allowed_set:
+                return way
+        raise ValueError("empty allowed-way set")
+
+    def on_access(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def on_fill(self, way: int, low_priority: bool = False) -> None:
+        self._order.remove(way)
+        if low_priority:
+            # Insert at LRU+1: one reuse saves it, otherwise it goes fast.
+            self._order.insert(1, way)
+        else:
+            self._order.append(way)
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU (the usual hardware compromise).
+
+    ``ways`` must be a power of two.  Internal nodes are one bit each:
+    0 means "go left for the victim", 1 means "go right".
+    """
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError("TreePLRU requires power-of-two ways")
+        self._bits = [0] * max(1, ways - 1)
+
+    def victim(self) -> int:
+        node = 0
+        while node < self.ways - 1:
+            node = 2 * node + 1 + self._bits[node]
+        return node - (self.ways - 1)
+
+    def _touch(self, way: int) -> None:
+        # Walk from the leaf up, pointing every node away from this way.
+        node = way + self.ways - 1
+        while node > 0:
+            parent = (node - 1) // 2
+            self._bits[parent] = 0 if node == 2 * parent + 2 else 1
+            node = parent
+
+    def on_access(self, way: int) -> None:
+        self._touch(way)
+
+    def on_fill(self, way: int, low_priority: bool = False) -> None:
+        if not low_priority:
+            self._touch(way)
+        # Low-priority fills leave the tree pointing at them: next victim.
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static RRIP with 2-bit re-reference prediction values.
+
+    Insertions get RRPV ``max-1`` (long re-reference), hits promote to
+    0, victims are found by scanning for RRPV ``max`` and aging
+    everyone when none is found.  Low-priority fills insert at ``max``
+    (evict-next), which is exactly the "bypass-ish" insertion the
+    metadata-insertion ablation wants.
+    """
+
+    MAX_RRPV = 3
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._rrpv = [self.MAX_RRPV] * ways
+
+    def victim(self) -> int:
+        while True:
+            for way in range(self.ways):
+                if self._rrpv[way] == self.MAX_RRPV:
+                    return way
+            self._rrpv = [v + 1 for v in self._rrpv]
+
+    def victim_among(self, allowed: Sequence[int]) -> int:
+        if not allowed:
+            raise ValueError("empty allowed-way set")
+        while True:
+            for way in allowed:
+                if self._rrpv[way] == self.MAX_RRPV:
+                    return way
+            for way in allowed:
+                self._rrpv[way] += 1
+
+    def on_access(self, way: int) -> None:
+        self._rrpv[way] = 0
+
+    def on_fill(self, way: int, low_priority: bool = False) -> None:
+        self._rrpv[way] = self.MAX_RRPV if low_priority else self.MAX_RRPV - 1
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (deterministic per-instance stream)."""
+
+    def __init__(self, ways: int, seed: int = 12345):
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+    def on_access(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int, low_priority: bool = False) -> None:
+        pass
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "plru": TreePlruPolicy,
+    "srrip": SrripPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Factory by name: ``lru``, ``plru``, ``srrip``, ``random``."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; "
+                         f"choose from {sorted(_POLICIES)}") from None
+    return cls(ways)

@@ -1,0 +1,35 @@
+"""Address hashing across L2 slices.
+
+GPUs stripe physical addresses across L2 slices (one slice per memory
+partition) with an XOR-folded hash so that strided patterns spread
+evenly.  We fold all line-address bits down into ``log2(slices)`` bits,
+which is both realistic and keeps pathological striding out of the
+simulated crossbar.
+"""
+
+from __future__ import annotations
+
+
+class SliceHasher:
+    """Deterministic line-address -> slice mapping."""
+
+    def __init__(self, num_slices: int):
+        if num_slices < 1:
+            raise ValueError("num_slices must be >= 1")
+        self.num_slices = num_slices
+        self._bits = max(1, (num_slices - 1).bit_length())
+        self._pow2 = num_slices & (num_slices - 1) == 0
+
+    def slice_of(self, line_addr: int) -> int:
+        if self.num_slices == 1:
+            return 0
+        folded = 0
+        value = line_addr
+        while value:
+            folded ^= value & ((1 << self._bits) - 1)
+            value >>= self._bits
+        if self._pow2:
+            return folded % self.num_slices
+        # Non-power-of-two slice counts: mix then mod.
+        folded = (folded * 2654435761) & 0xFFFFFFFF
+        return folded % self.num_slices

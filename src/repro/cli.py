@@ -1,0 +1,253 @@
+"""Command-line interface (``cachecraft-sim``).
+
+Subcommands:
+
+* ``run`` — simulate one workload under one scheme (``--json`` for
+  tooling; prints a bottleneck classification);
+* ``compare`` — compare all schemes on one workload;
+* ``experiment`` — regenerate one of the reproduced tables/figures;
+* ``sweep`` — one-parameter sensitivity sweep (l2/granule/mdcache);
+* ``faults`` — fault-injection coverage campaign for any code;
+* ``trace`` — dump a workload's warp traces to JSON lines;
+* ``report`` — assemble a markdown report from saved benchmark results;
+* ``list`` — list available workloads, schemes, and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.harness import bench_config, bench_gen_ctx, compare_schemes
+from repro.analysis.tables import format_table
+from repro.core.config import ALL_SCHEMES
+from repro.core.system import run_workload
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.base import WORKLOAD_REGISTRY
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cachecraft-sim",
+        description="CacheCraft reproduction: GPU memory-protection simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload/scheme")
+    run_p.add_argument("--workload", "-w", default="vecadd",
+                       choices=sorted(WORKLOAD_REGISTRY))
+    run_p.add_argument("--scheme", "-s", default="cachecraft",
+                       choices=ALL_SCHEMES)
+    run_p.add_argument("--scale", type=float, default=0.3,
+                       help="workload size multiplier (default 0.3)")
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--l2-kb", type=int, default=1024)
+    run_p.add_argument("--granule", type=int, default=128)
+    run_p.add_argument("--code", default="secded")
+    run_p.add_argument("--functional", action="store_true",
+                       help="run real ECC decode over a functional store")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
+
+    trace_p = sub.add_parser("trace",
+                             help="dump a workload's warp traces to a "
+                                  "JSON-lines file")
+    trace_p.add_argument("--workload", "-w", default="vecadd",
+                         choices=sorted(WORKLOAD_REGISTRY))
+    trace_p.add_argument("--scale", type=float, default=0.1)
+    trace_p.add_argument("--seed", type=int, default=42)
+    trace_p.add_argument("--output", "-o", required=True)
+
+    cmp_p = sub.add_parser("compare", help="compare all schemes on a workload")
+    cmp_p.add_argument("--workload", "-w", default="spmv",
+                       choices=sorted(WORKLOAD_REGISTRY))
+    cmp_p.add_argument("--scale", type=float, default=0.3)
+    cmp_p.add_argument("--seed", type=int, default=42)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp_p.add_argument("ident", choices=sorted(EXPERIMENTS),
+                       help="experiment id (T1-T5, F1-F11)")
+
+    sweep_p = sub.add_parser("sweep", help="one-parameter sensitivity sweep")
+    sweep_p.add_argument("parameter", choices=("l2", "granule", "mdcache"))
+    sweep_p.add_argument("--workload", "-w", default="spmv",
+                         choices=sorted(WORKLOAD_REGISTRY))
+    sweep_p.add_argument("--scheme", "-s", default="cachecraft",
+                         choices=ALL_SCHEMES + ("sector-l2",))
+    sweep_p.add_argument("--values", type=int, nargs="+",
+                         help="points to sweep (defaults per parameter)")
+    sweep_p.add_argument("--scale", type=float, default=0.2)
+
+    faults_p = sub.add_parser("faults",
+                              help="fault-injection coverage campaign")
+    faults_p.add_argument("--code", default="secded",
+                          help="code name (see `list`)")
+    faults_p.add_argument("--granule", type=int, default=32)
+    faults_p.add_argument("--trials", type=int, default=500)
+
+    report_p = sub.add_parser("report",
+                              help="assemble a markdown report from saved "
+                                   "benchmark results")
+    report_p.add_argument("--results-dir", default="benchmarks/results")
+    report_p.add_argument("--output", "-o", default=None,
+                          help="write to a file instead of stdout")
+
+    sub.add_parser("list", help="list workloads, schemes, experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = bench_config(l2_size_kb=args.l2_kb).with_protection(
+        scheme=args.scheme, granule_bytes=args.granule,
+        code_name=args.code, functional=args.functional)
+    gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
+    result = run_workload(make_workload(args.workload), config,
+                          gen_ctx=gen_ctx)
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(f"workload={result.workload} scheme={result.scheme}")
+    print(f"cycles={result.cycles}")
+    print(f"dram_bytes={result.total_dram_bytes} "
+          f"(overhead {result.overhead_bytes})")
+    rows = [[k, v] for k, v in sorted(result.traffic.items()) if v]
+    print(format_table(["traffic kind", "bytes"], rows))
+    l1 = result.l1_hit_rate()
+    l2 = result.l2_hit_rate()
+    print(f"l1_hit_rate={l1:.3f} l2_hit_rate={l2:.3f}"
+          if l1 is not None and l2 is not None else "")
+    from repro.analysis.bottleneck import analyze
+
+    report = analyze(result, config)
+    print(f"bottleneck={report.classification} "
+          f"(bus {report.peak_bus_utilization:.0%}, "
+          f"latency x{report.latency_multiple:.1f})")
+    for note in report.notes:
+        print(f"  note: {note}")
+    print(f"host_seconds={result.host_seconds:.2f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed)
+    table = [[r["scheme"], r["norm_perf"], r["cycles"], r["dram_bytes"],
+              r["overhead_bytes"]] for r in rows]
+    print(format_table(
+        ["scheme", "norm perf", "cycles", "DRAM bytes", "overhead bytes"],
+        table, title=f"scheme comparison: {args.workload}"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    output = EXPERIMENTS[args.ident]()
+    print(output)
+    return 0
+
+
+_SWEEP_DEFAULTS = {
+    "l2": (512, 1024, 2048, 4096),
+    "granule": (64, 128, 256, 512),
+    "mdcache": (8, 16, 32, 64, 128),
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    values = args.values or _SWEEP_DEFAULTS[args.parameter]
+    rows = []
+    for value in values:
+        if args.parameter == "l2":
+            config = bench_config(l2_size_kb=value)
+        elif args.parameter == "granule":
+            config = bench_config().with_protection(granule_bytes=value)
+        else:
+            config = bench_config().with_protection(mdcache_kb=value)
+        gen = bench_gen_ctx(config, scale=args.scale)
+        base = run_workload(make_workload(args.workload), config,
+                            gen_ctx=gen)
+        result = run_workload(make_workload(args.workload),
+                              config.with_scheme(args.scheme), gen_ctx=gen)
+        rows.append([value, result.performance_vs(base), result.cycles,
+                     result.total_dram_bytes])
+    print(format_table(
+        [args.parameter, "norm perf", "cycles", "DRAM bytes"], rows,
+        title=f"{args.parameter} sweep: {args.workload} / {args.scheme}"))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.ecc import BurstFault, ChipFault, FaultCampaign, MultiBitFault, SingleBitFault
+    from repro.protection.codes import build_code
+
+    code, _meta = build_code(args.code, args.granule, functional=True)
+    campaign = FaultCampaign(code)
+    rows = []
+    for fault in (SingleBitFault(), MultiBitFault(2), BurstFault(4),
+                  ChipFault(8)):
+        res = campaign.run(fault, args.trials)
+        d = res.as_dict()
+        rows.append([fault.name, d["corrected_rate"], d["detected_rate"],
+                     d["sdc_rate"], d["benign_rate"]])
+    print(format_table(
+        ["fault", "corrected", "detected", "SDC", "benign"], rows,
+        title=f"fault coverage: {code.spec.name} ({args.trials} trials)"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.gpu.tracefile import dump_traces, flatten_machine_traces
+
+    config = bench_config()
+    gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
+    workload = make_workload(args.workload)
+    traces = flatten_machine_traces(workload.build(gen_ctx))
+    with open(args.output, "w") as fh:
+        count = dump_traces(traces, fh, workload=args.workload)
+    print(f"wrote {count} warp traces to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(args.results_dir)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads: " + ", ".join(WORKLOADS))
+    print("extra workloads: " + ", ".join(
+        sorted(set(WORKLOAD_REGISTRY) - set(WORKLOADS))))
+    print("schemes: " + ", ".join(ALL_SCHEMES))
+    print("experiments: " + ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``cachecraft-sim`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

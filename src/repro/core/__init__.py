@@ -1,0 +1,33 @@
+"""The paper's contribution and the top-level system assembly.
+
+* :mod:`repro.core.cachecraft` — the CacheCraft protection scheme:
+  reconstructed caching of protection granules;
+* :mod:`repro.core.config` — configuration dataclasses for the whole
+  simulated system;
+* :mod:`repro.core.system` — :class:`GpuSystem`, which wires SMs,
+  crossbar, L2 slices, the protection scheme and DRAM together and runs
+  a workload to completion;
+* :mod:`repro.core.results` — the :class:`RunResult` record a run
+  produces, with derived metrics (normalized performance, traffic
+  breakdowns, hit rates).
+"""
+
+from repro.core.cachecraft import CacheCraft
+from repro.core.config import GpuConfig, ProtectionConfig, SystemConfig
+from repro.core.results import RunResult
+from repro.core.scenario import KernelLaunch, Scenario, ScenarioResult, producer_consumer
+from repro.core.system import GpuSystem, run_workload
+
+__all__ = [
+    "CacheCraft",
+    "GpuConfig",
+    "ProtectionConfig",
+    "SystemConfig",
+    "GpuSystem",
+    "RunResult",
+    "run_workload",
+    "Scenario",
+    "KernelLaunch",
+    "ScenarioResult",
+    "producer_consumer",
+]

@@ -1,0 +1,110 @@
+"""Run results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produced."""
+
+    workload: str
+    scheme: str
+    cycles: int
+    #: DRAM bytes by request kind (data / metadata / verify_fill /
+    #: writeback / metadata_write).
+    traffic: Dict[str, int]
+    #: Flattened component statistics (see StatGroup.flatten).
+    stats: Dict[str, float]
+    #: Scheme-reported overheads.
+    storage_overhead: float = 0.0
+    sram_overhead_bytes: int = 0
+    #: Wall-clock seconds the simulation took (host side).
+    host_seconds: float = 0.0
+    config_summary: Dict[str, object] = field(default_factory=dict)
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(self.traffic.values())
+
+    @property
+    def demand_bytes(self) -> int:
+        return self.traffic.get("data", 0)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Traffic beyond demand data + writeback."""
+        return (self.traffic.get("metadata", 0)
+                + self.traffic.get("verify_fill", 0)
+                + self.traffic.get("metadata_write", 0))
+
+    def traffic_fraction(self, kind: str) -> float:
+        total = self.total_dram_bytes
+        return self.traffic.get(kind, 0) / total if total else 0.0
+
+    def performance_vs(self, baseline: "RunResult") -> float:
+        """Performance normalized to a baseline run (same workload)."""
+        if self.workload != baseline.workload:
+            raise ValueError(
+                f"comparing {self.workload} against {baseline.workload}")
+        return baseline.cycles / self.cycles if self.cycles else 0.0
+
+    def stat(self, suffix: str, default: float = 0.0) -> float:
+        """Sum of all flattened stats whose key ends with ``suffix``."""
+        total = 0.0
+        found = False
+        for key, value in self.stats.items():
+            if key.endswith(suffix):
+                total += value
+                found = True
+        return total if found else default
+
+    def l2_hit_rate(self) -> Optional[float]:
+        hits = self.stat("cache.hits")
+        misses = self.stat("cache.sector_misses") + self.stat("cache.line_misses")
+        total = hits + misses
+        return hits / total if total else None
+
+    def l1_hit_rate(self) -> Optional[float]:
+        hits = self.stat("l1.hits")
+        misses = self.stat("l1.sector_misses") + self.stat("l1.line_misses")
+        total = hits + misses
+        return hits / total if total else None
+
+    def to_json(self, include_stats: bool = False) -> str:
+        """Serialize for tooling (``include_stats`` adds the full
+        flattened counter map — large)."""
+        import json
+
+        payload: Dict[str, object] = {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "traffic": self.traffic,
+            "storage_overhead": self.storage_overhead,
+            "sram_overhead_bytes": self.sram_overhead_bytes,
+            "host_seconds": round(self.host_seconds, 3),
+            "config": self.config_summary,
+            "l1_hit_rate": self.l1_hit_rate(),
+            "l2_hit_rate": self.l2_hit_rate(),
+        }
+        if include_stats:
+            payload["stats"] = self.stats
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def summary(self) -> Dict[str, object]:
+        """A flat record suitable for table rows."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "dram_bytes": self.total_dram_bytes,
+            "overhead_bytes": self.overhead_bytes,
+            "l1_hit_rate": self.l1_hit_rate(),
+            "l2_hit_rate": self.l2_hit_rate(),
+            "storage_overhead": self.storage_overhead,
+        }

@@ -1,0 +1,184 @@
+"""Top-level system assembly and run loop.
+
+:class:`GpuSystem` wires together, in dependency order: the event
+engine, one memory channel per partition, the protection scheme (bound
+to a context that exposes channels and L2 probes), the L2 slices, the
+crossbar, and the SMs.  :func:`run_workload` is the one-call entry
+point used by examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.results import RunResult
+from repro.dram.backing import FunctionalMemory
+from repro.dram.channel import MemoryChannel
+from repro.gpu.crossbar import Crossbar
+from repro.gpu.l2slice import L2Slice
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.protection.base import ProtectionContext, make_scheme
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.workloads.base import GenContext, Workload
+
+
+class GpuSystem:
+    """A fully-wired simulated GPU ready to run one workload."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        gpu = config.gpu
+        self.sim = Simulator()
+        self.stats = StatsRegistry()
+
+        # Protection scheme + layout come first: the layout decides the
+        # metadata geometry everything downstream uses.
+        prot_cfg = config.protection
+        self.scheme = make_scheme(prot_cfg.scheme, **prot_cfg.scheme_kwargs())
+        layout = self.scheme.prepare(prot_cfg.functional,
+                                     atom_bytes=gpu.sector_bytes)
+        if gpu.slice_chunk_bytes % layout.granule_bytes:
+            raise ValueError(
+                f"granule ({layout.granule_bytes} B) must divide the slice "
+                f"chunk ({gpu.slice_chunk_bytes} B)")
+
+        self.functional: Optional[FunctionalMemory] = None
+        if prot_cfg.functional:
+            self.functional = FunctionalMemory(layout, self.scheme.code,
+                                               sector_bytes=gpu.sector_bytes)
+
+        self.channels: List[MemoryChannel] = [
+            MemoryChannel(f"dram{i}", self.sim, gpu.dram, stats=self.stats,
+                          atom_bytes=gpu.sector_bytes)
+            for i in range(gpu.num_slices)
+        ]
+
+        self.ctx = ProtectionContext(
+            sim=self.sim, layout=layout, channels=self.channels,
+            stats=self.stats, sector_bytes=gpu.sector_bytes,
+            line_bytes=gpu.line_bytes,
+            slice_chunk_bytes=gpu.slice_chunk_bytes,
+            functional=self.functional,
+            ecc_check_latency=gpu.ecc_check_latency,
+        )
+        self.scheme.bind(self.ctx)
+
+        self.slices: List[L2Slice] = [
+            L2Slice(i, self.sim, self.scheme,
+                    size_bytes=gpu.l2_slice_bytes, ways=gpu.l2_ways,
+                    line_bytes=gpu.line_bytes, sector_bytes=gpu.sector_bytes,
+                    latency=gpu.l2_latency, mshr_entries=gpu.l2_mshr_entries,
+                    policy=gpu.l2_policy, stats=self.stats,
+                    metadata_ways=gpu.l2_metadata_ways)
+            for i in range(gpu.num_slices)
+        ]
+        self.ctx.wire_l2(
+            resident_cb=lambda s, line, clean: (
+                self.slices[s].resident_mask(line, clean_only=clean)),
+            install_cb=lambda s, line, mask, **kw: (
+                self.slices[s].install_sectors(line, mask, **kw)),
+        )
+
+        self.crossbar = Crossbar(
+            self.sim, gpu.num_slices, latency=gpu.xbar_latency,
+            cycles_per_request=gpu.xbar_cycles_per_request,
+            cycles_per_sector=gpu.xbar_cycles_per_sector, stats=self.stats)
+
+        chunk = gpu.slice_chunk_bytes
+
+        def route(line_addr: int) -> int:
+            return (line_addr * gpu.line_bytes // chunk) % gpu.num_slices
+
+        self.route = route
+        self.sms: List[StreamingMultiprocessor] = [
+            StreamingMultiprocessor(
+                i, self.sim, self.crossbar, self.slices, route,
+                l1_size=gpu.l1_size_kb * 1024, l1_ways=gpu.l1_ways,
+                line_bytes=gpu.line_bytes, sector_bytes=gpu.sector_bytes,
+                l1_latency=gpu.l1_latency,
+                l1_mshr_entries=gpu.l1_mshr_entries,
+                store_buffer=gpu.store_buffer, stats=self.stats,
+                scheduler=gpu.warp_scheduler)
+            for i in range(gpu.num_sms)
+        ]
+
+    # -- running -------------------------------------------------------------------
+
+    def load_workload(self, workload: Workload,
+                      gen_ctx: Optional[GenContext] = None) -> GenContext:
+        """Generate and distribute traces to the SMs."""
+        gpu = self.config.gpu
+        if gen_ctx is None:
+            gen_ctx = GenContext(
+                num_sms=gpu.num_sms, warps_per_sm=gpu.warps_per_sm,
+                lanes=gpu.lanes, seed=self.config.seed,
+                line_bytes=gpu.line_bytes, sector_bytes=gpu.sector_bytes)
+        traces = workload.build(gen_ctx)
+        for sm, warp_traces in zip(self.sms, traces):
+            for ops in warp_traces:
+                sm.add_warp(ops)
+        return gen_ctx
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run to completion (including the optional end flush).
+
+        Returns total simulated cycles.
+        """
+        for sm in self.sms:
+            sm.start()
+        self.sim.run(max_events=max_events)
+        if not all(sm.done for sm in self.sms):
+            raise RuntimeError("event queue drained but SMs not finished — "
+                               "a request was dropped (simulator bug)")
+        kernel_cycles = self.sim.now
+        if self.config.flush_at_end:
+            for sl in self.slices:
+                sl.flush()
+            self.scheme.drain()
+            self.sim.run(max_events=max_events)
+        return max(kernel_cycles, self.sim.now)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def traffic(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for channel in self.channels:
+            for kind, nbytes in channel.bytes_by_kind().items():
+                totals[kind] = totals.get(kind, 0) + nbytes
+        return totals
+
+    def result(self, workload_name: str, cycles: int,
+               host_seconds: float = 0.0) -> RunResult:
+        gpu = self.config.gpu
+        return RunResult(
+            workload=workload_name,
+            scheme=self.config.protection.scheme,
+            cycles=cycles,
+            traffic=self.traffic(),
+            stats=self.stats.flatten(),
+            storage_overhead=self.scheme.storage_overhead(),
+            sram_overhead_bytes=self.scheme.sram_overhead_bytes(),
+            host_seconds=host_seconds,
+            config_summary={
+                "num_sms": gpu.num_sms,
+                "l2_kb": gpu.l2_size_kb,
+                "slices": gpu.num_slices,
+                "granule": self.config.protection.granule_bytes,
+                "code": self.config.protection.code_name,
+            },
+        )
+
+
+def run_workload(workload: Workload, config: SystemConfig,
+                 gen_ctx: Optional[GenContext] = None,
+                 max_events: Optional[int] = None) -> RunResult:
+    """Build a system, run one workload, return its :class:`RunResult`."""
+    system = GpuSystem(config)
+    system.load_workload(workload, gen_ctx)
+    started = time.perf_counter()
+    cycles = system.run(max_events=max_events)
+    host_seconds = time.perf_counter() - started
+    return system.result(workload.name, cycles, host_seconds)

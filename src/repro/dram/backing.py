@@ -1,0 +1,133 @@
+"""Functional backing store.
+
+When functional checking is enabled the simulator keeps *actual bytes*
+for every sector touched and *actual codewords* for every granule, so
+the protection layer can run real ECC encode/decode rather than assume
+verification succeeds.  Untouched memory reads as deterministic
+pseudo-random bytes derived from the address, so the store stays sparse
+while remaining reproducible.
+
+The store is also the fault-injection surface for the end-to-end
+reliability demos: :meth:`inject_bit_flip` corrupts stored data, and
+the next verification of that granule sees it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from repro.dram.layout import InlineEccLayout
+from repro.ecc.base import DecodeResult, ErrorCode
+
+
+class FunctionalMemory:
+    """Sparse byte-accurate memory with granule metadata."""
+
+    def __init__(self, layout: InlineEccLayout, code: Optional[ErrorCode] = None,
+                 sector_bytes: int = 32):
+        self.layout = layout
+        self.code = code
+        self.sector_bytes = sector_bytes
+        self._sectors: Dict[int, bytes] = {}
+        self._metadata: Dict[int, bytes] = {}
+
+    # -- data ------------------------------------------------------------------
+
+    def _sector_key(self, addr: int) -> int:
+        return addr // self.sector_bytes
+
+    def _default_sector(self, key: int) -> bytes:
+        digest = hashlib.blake2b(
+            key.to_bytes(8, "little"), digest_size=self.sector_bytes
+        ).digest()
+        return digest
+
+    def read_sector(self, addr: int) -> bytes:
+        key = self._sector_key(addr)
+        data = self._sectors.get(key)
+        if data is None:
+            data = self._default_sector(key)
+            self._sectors[key] = data
+        return data
+
+    def write_sector(self, addr: int, data: bytes) -> None:
+        if len(data) != self.sector_bytes:
+            raise ValueError(f"sector writes must be {self.sector_bytes} bytes")
+        self._sectors[self._sector_key(addr)] = bytes(data)
+
+    def read_granule(self, granule: int) -> bytes:
+        base = self.layout.granule_base(granule)
+        parts = [
+            self.read_sector(base + off)
+            for off in range(0, self.layout.granule_bytes, self.sector_bytes)
+        ]
+        return b"".join(parts)
+
+    # -- metadata -----------------------------------------------------------------
+
+    def metadata_of(self, granule: int) -> bytes:
+        """Stored metadata; lazily encoded from current granule contents."""
+        meta = self._metadata.get(granule)
+        if meta is None:
+            if self.code is None:
+                meta = bytes(self.layout.meta_per_granule)
+            else:
+                meta = self._encode(granule)
+            self._metadata[granule] = meta
+        return meta
+
+    def _encode(self, granule: int) -> bytes:
+        assert self.code is not None
+        check = self.code.encode(self.read_granule(granule))
+        if len(check) > self.layout.meta_per_granule:
+            raise ValueError(
+                f"code produces {len(check)} metadata bytes but layout "
+                f"allots {self.layout.meta_per_granule}"
+            )
+        return check.ljust(self.layout.meta_per_granule, b"\0")
+
+    def update_metadata(self, granule: int) -> None:
+        """Re-encode after a data write (the writeback path calls this)."""
+        if self.code is not None:
+            self._metadata[granule] = self._encode(granule)
+
+    def verify_granule(self, granule: int) -> Optional[DecodeResult]:
+        """Run the real decoder against stored data + metadata.
+
+        Returns None when no code is configured (timing-only mode).
+        """
+        if self.code is None:
+            return None
+        data = self.read_granule(granule)
+        check = self.metadata_of(granule)[: self.code.spec.check_bytes]
+        return self.code.decode(data, check)
+
+    # -- fault injection -------------------------------------------------------
+
+    def inject_bit_flip(self, addr: int, bit: int) -> None:
+        """Flip one bit of stored data (does not touch metadata).
+
+        The granule's metadata is materialized *first* so it reflects
+        the pre-fault contents — a soft error strikes data that was
+        written with correct ECC, it does not re-encode itself.
+        """
+        if not 0 <= bit < self.sector_bytes * 8:
+            raise ValueError(f"bit must be in [0, {self.sector_bytes * 8})")
+        if not self.layout.is_metadata(addr):
+            self.metadata_of(self.layout.granule_of(addr))
+        sector = bytearray(self.read_sector(addr))
+        sector[bit // 8] ^= 1 << (bit % 8)
+        self._sectors[self._sector_key(addr)] = bytes(sector)
+
+    def inject_metadata_corruption(self, granule: int, bit: int) -> None:
+        """Flip one bit of a granule's stored metadata."""
+        meta = bytearray(self.metadata_of(granule))
+        if not 0 <= bit < len(meta) * 8:
+            raise ValueError("bit out of metadata range")
+        meta[bit // 8] ^= 1 << (bit % 8)
+        self._metadata[granule] = bytes(meta)
+
+    @property
+    def resident_sectors(self) -> int:
+        return len(self._sectors)

@@ -1,0 +1,261 @@
+"""One memory channel: banks, FR-FCFS scheduling, shared data bus.
+
+The channel accepts 32 B-atom read/write requests and calls each
+request's callback at data-return time.  Scheduling is first-ready
+FCFS: among requests whose bank can accept a command *now*, row hits
+beat row misses, then age; when nothing is issuable the channel sleeps
+until the earliest bank frees up.
+
+Writes are *posted*: the issuer's callback (if any) fires when the
+write is accepted into the queue, but the write still competes for
+bank/bus time — so write traffic degrades read latency, which is the
+effect that matters.
+
+Every request carries a :class:`RequestKind` so the traffic experiment
+(F2) can split DRAM bytes into data / metadata / verification-fill /
+writeback components without the protection layer owning counters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.mapping import AddressMapping
+from repro.dram.timing import DramTiming
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatGroup
+
+
+class RequestKind(enum.Enum):
+    """Why a DRAM access happened — the traffic-breakdown dimension."""
+
+    DATA = "data"                  # demand data fetch
+    METADATA = "metadata"          # ECC/tag metadata fetch
+    VERIFY_FILL = "verify_fill"    # extra data fetched only to verify a granule
+    WRITEBACK = "writeback"        # dirty data eviction
+    METADATA_WRITE = "metadata_write"  # metadata update on writeback
+
+
+@dataclass
+class DramRequest:
+    """One 32 B-atom access."""
+
+    addr: int
+    is_write: bool
+    kind: RequestKind
+    callback: Optional[Callable[[], None]] = None
+    #: Number of consecutive atoms (same row unless it crosses one).
+    atoms: int = 1
+    enqueue_time: int = field(default=0, init=False)
+    # Decoded coordinates, filled in at enqueue (scheduler hot path).
+    bank: int = field(default=0, init=False)
+    row: int = field(default=0, init=False)
+
+
+class _Bank:
+    __slots__ = ("ready_at", "open_row", "last_activate")
+
+    def __init__(self) -> None:
+        self.ready_at = 0
+        self.open_row = -1
+        self.last_activate = -(1 << 30)
+
+
+class MemoryChannel:
+    """Event-driven FR-FCFS memory channel with write draining.
+
+    Reads and writes live in separate queues.  Reads are served
+    preferentially; writes accumulate until the high watermark (or
+    until no reads are pending) and then drain in a batch down to the
+    low watermark — the standard controller policy that amortizes the
+    read/write bus turnaround.
+    """
+
+    #: Cap on how many queued requests the scheduler scans per decision.
+    SCHED_WINDOW = 32
+    #: Write-drain watermarks.
+    WRITE_HI = 24
+    WRITE_LO = 8
+
+    def __init__(self, name: str, sim: Simulator, timing: DramTiming,
+                 stats: Optional[StatGroup] = None, atom_bytes: int = 32):
+        self.name = name
+        self.sim = sim
+        self.timing = timing
+        self.atom_bytes = atom_bytes
+        self.mapping = AddressMapping(timing.banks, timing.row_bytes)
+        self._banks = [_Bank() for _ in range(timing.banks)]
+        self._read_q: List[DramRequest] = []
+        self._write_q: List[DramRequest] = []
+        self._write_mode = False
+        self._bus_free_at = 0
+        self._last_was_write = False
+        self._wakeup_scheduled = False
+        self._next_refresh = timing.t_refi if timing.refresh_enabled else None
+
+        group = stats.child(name) if stats is not None else StatGroup(name)
+        self.stats = group
+        self._reads = group.counter("reads")
+        self._writes = group.counter("writes")
+        self._row_hits = group.counter("row_hits")
+        self._row_misses = group.counter("row_misses")
+        self._refreshes = group.counter("refreshes")
+        self._queue_latency = group.histogram(
+            "read_latency", [50, 100, 200, 400, 800, 1600])
+        self._bytes_by_kind: Dict[RequestKind, int] = {k: 0 for k in RequestKind}
+
+    # -- public interface ---------------------------------------------------
+
+    def enqueue(self, request: DramRequest) -> None:
+        """Submit a request; its callback fires at data-return time."""
+        request.enqueue_time = self.sim.now
+        frame = request.addr // self.timing.row_bytes
+        request.bank = frame % self.timing.banks
+        request.row = frame // self.timing.banks
+        (self._write_q if request.is_write else self._read_q).append(request)
+        self._bytes_by_kind[request.kind] += request.atoms * self.atom_bytes
+        if request.is_write:
+            self._writes.add(request.atoms)
+            # Posted write: ack immediately, keep competing for bank time.
+            if request.callback is not None:
+                cb = request.callback
+                request.callback = None
+                self.sim.schedule(0, cb)
+        else:
+            self._reads.add(request.atoms)
+        self._wake(0)
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Traffic totals keyed by kind value (for F2)."""
+        return {k.value: v for k, v in self._bytes_by_kind.items()}
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._bytes_by_kind.values())
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._read_q) + len(self._write_q)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _wake(self, delay: int) -> None:
+        if not self._wakeup_scheduled:
+            self._wakeup_scheduled = True
+            self.sim.schedule(delay, self._tick)
+
+    def _update_mode(self) -> None:
+        if self._write_mode:
+            if not self._write_q or (self._read_q
+                                     and len(self._write_q) <= self.WRITE_LO):
+                self._write_mode = False
+        else:
+            if (not self._read_q and self._write_q) \
+                    or len(self._write_q) >= self.WRITE_HI:
+                self._write_mode = True
+
+    def _tick(self) -> None:
+        self._wakeup_scheduled = False
+        now = self.sim.now
+        self._maybe_refresh(now)
+        while self._read_q or self._write_q:
+            self._update_mode()
+            queue = self._write_q if self._write_mode else self._read_q
+            chosen = self._choose(queue, now)
+            if chosen is None:
+                self._sleep_until_ready(now)
+                return
+            self._issue(chosen, now)
+            now = self.sim.now  # unchanged; issue just books future times
+
+    def _choose(self, queue: List[DramRequest],
+                now: int) -> Optional[DramRequest]:
+        """FR-FCFS over a bounded window of one queue."""
+        best_idx = -1
+        banks = self._banks
+        limit = min(len(queue), self.SCHED_WINDOW)
+        for idx in range(limit):
+            req = queue[idx]
+            bank = banks[req.bank]
+            if bank.ready_at > now:
+                continue
+            if bank.open_row == req.row:
+                best_idx = idx
+                break  # oldest row hit wins
+            if best_idx < 0:
+                best_idx = idx
+        if best_idx < 0:
+            return None
+        return queue.pop(best_idx)
+
+    def _sleep_until_ready(self, now: int) -> None:
+        banks = self._banks
+        pending = (self._read_q[: self.SCHED_WINDOW]
+                   + self._write_q[: self.SCHED_WINDOW])
+        soonest = min(banks[r.bank].ready_at for r in pending)
+        self._wake(max(1, soonest - now))
+
+    def _issue(self, req: DramRequest, now: int) -> None:
+        t = self.timing
+        bank = self._banks[req.bank]
+
+        access_start = max(now, bank.ready_at, self._bus_free_at - t.t_cl)
+        if bank.open_row == req.row:
+            self._row_hits.add(1)
+            cas_at = access_start
+        else:
+            self._row_misses.add(1)
+            precharge = t.t_rp if bank.open_row >= 0 else 0
+            activate_at = access_start + precharge
+            gap = bank.last_activate + t.t_rc - activate_at
+            if gap > 0:
+                activate_at += gap
+            bank.last_activate = activate_at
+            bank.open_row = req.row
+            cas_at = activate_at + t.t_rcd
+
+        data_start = cas_at + t.t_cl
+        if self._last_was_write != req.is_write:
+            data_start += t.t_turnaround
+        self._last_was_write = req.is_write
+
+        data_start = max(data_start, self._bus_free_at)
+        data_end = data_start + t.t_burst * req.atoms
+        self._bus_free_at = data_end
+        # Column commands pipeline at t_CCD (~ the burst time): the bank
+        # can accept its next command one burst after this CAS.  Writes
+        # additionally observe write recovery before the row may close.
+        if req.is_write:
+            bank.ready_at = data_end + t.t_wr
+        else:
+            bank.ready_at = cas_at + t.t_burst * req.atoms
+
+        if req.is_write:
+            # Posted writes carry no callback, but the transfer must
+            # still anchor simulated time: otherwise a run could "end"
+            # before its trailing write drain has left the bus.
+            self.sim.schedule_at(data_end, _noop)
+        else:
+            latency = data_end - req.enqueue_time
+            self._queue_latency.record(latency)
+            self.sim.schedule_at(data_end, req.callback or _noop)
+        if self._read_q or self._write_q:
+            self._wake(1)
+
+    def _maybe_refresh(self, now: int) -> None:
+        if self._next_refresh is None or now < self._next_refresh:
+            return
+        t = self.timing
+        # Blackout: all banks unavailable for t_rfc, rows closed.
+        end = now + t.t_rfc
+        for bank in self._banks:
+            bank.ready_at = max(bank.ready_at, end)
+            bank.open_row = -1
+        self._refreshes.add(1)
+        self._next_refresh = now + t.t_refi
+
+
+def _noop() -> None:
+    """Time anchor for posted write completions."""

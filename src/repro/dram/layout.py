@@ -1,0 +1,81 @@
+"""Inline-ECC address layout.
+
+GDDR-class memory has no side-band ECC devices, so protection metadata
+is carved out of the same DRAM the data lives in.  The layout maps a
+*protection granule* (a power-of-two span of data bytes that one
+codeword covers) to the byte address holding its metadata.
+
+Metadata for consecutive granules is packed densely, so one 32 B DRAM
+atom holds metadata for ``atom / meta_per_granule`` granules —
+spatially-local data accesses therefore share metadata atoms, which is
+precisely the locality CacheCraft's in-L2 metadata caching exploits.
+
+The metadata region is placed at ``metadata_base``, above the
+workload-visible heap; the capacity overhead is
+``meta_per_granule / granule_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InlineEccLayout:
+    """Granule geometry plus the metadata carve-out."""
+
+    #: Bytes of data covered by one codeword.
+    granule_bytes: int = 128
+    #: Metadata bytes per granule (check bits rounded to bytes, plus tag).
+    meta_per_granule: int = 4
+    #: First byte of the metadata region.
+    metadata_base: int = 1 << 34  # 16 GiB: above any workload heap
+    #: DRAM atom size (one burst).
+    atom_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.granule_bytes & (self.granule_bytes - 1):
+            raise ValueError("granule_bytes must be a power of two")
+        if self.meta_per_granule < 1 or self.meta_per_granule > self.atom_bytes:
+            raise ValueError("meta_per_granule must be in [1, atom_bytes]")
+        if self.atom_bytes % self.meta_per_granule:
+            raise ValueError("atom_bytes must be a multiple of meta_per_granule")
+
+    @property
+    def granules_per_meta_atom(self) -> int:
+        """Granules whose metadata shares one DRAM atom."""
+        return self.atom_bytes // self.meta_per_granule
+
+    @property
+    def data_per_meta_atom(self) -> int:
+        """Data bytes covered by one metadata atom."""
+        return self.granules_per_meta_atom * self.granule_bytes
+
+    @property
+    def capacity_overhead(self) -> float:
+        return self.meta_per_granule / self.granule_bytes
+
+    def granule_of(self, addr: int) -> int:
+        """Granule index of a data byte address."""
+        if addr >= self.metadata_base:
+            raise ValueError(f"address {addr:#x} is inside the metadata region")
+        return addr // self.granule_bytes
+
+    def granule_base(self, granule: int) -> int:
+        return granule * self.granule_bytes
+
+    def metadata_addr(self, granule: int) -> int:
+        """Byte address of a granule's metadata."""
+        return self.metadata_base + granule * self.meta_per_granule
+
+    def metadata_atom(self, granule: int) -> int:
+        """Atom-aligned address of the metadata atom holding this granule's
+        metadata — the unit actually fetched from DRAM."""
+        addr = self.metadata_addr(granule)
+        return addr - (addr % self.atom_bytes)
+
+    def is_metadata(self, addr: int) -> bool:
+        return addr >= self.metadata_base
+
+    def sectors_per_granule(self, sector_bytes: int = 32) -> int:
+        return max(1, self.granule_bytes // sector_bytes)

@@ -1,0 +1,43 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+Within a channel, addresses decompose as ``row | bank | column``: the
+bank bits sit just above the column (row) bits so that consecutive rows
+of the same access stream land in different banks (bank-level
+parallelism for streams), the standard open-page-friendly layout.
+
+Channel selection happens *outside* this class — the L2 slice hash
+(:class:`repro.cache.slicing.SliceHasher`) already routes a line to its
+memory partition, and each partition owns one channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapping:
+    """Maps channel-local byte addresses to (bank, row, column)."""
+
+    def __init__(self, banks: int, row_bytes: int):
+        if banks < 1 or row_bytes < 64:
+            raise ValueError("banks must be >= 1 and row_bytes >= 64")
+        self.banks = banks
+        self.row_bytes = row_bytes
+
+    def coordinates(self, addr: int) -> DramCoordinates:
+        column = addr % self.row_bytes
+        frame = addr // self.row_bytes
+        bank = frame % self.banks
+        row = frame // self.banks
+        return DramCoordinates(bank=bank, row=row, column=column)
+
+    def same_row(self, addr_a: int, addr_b: int) -> bool:
+        ca, cb = self.coordinates(addr_a), self.coordinates(addr_b)
+        return ca.bank == cb.bank and ca.row == cb.row

@@ -1,0 +1,60 @@
+"""DRAM timing parameters.
+
+All values are in **core cycles** (the simulator runs a single clock).
+The defaults approximate a GDDR6-class device behind a 1.4 GHz core
+clock: a 32 B atom transfers in ~2 core cycles of data-bus time, a row
+hit costs ~40 cycles of access latency, a row miss roughly doubles it.
+
+The exact constants matter less than their ratios — the evaluation
+normalizes against an unprotected baseline running the same timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing and geometry of one memory channel."""
+
+    #: Column access latency (CAS) for a row hit, core cycles.
+    t_cl: int = 28
+    #: RAS-to-CAS delay (activate before column access).
+    t_rcd: int = 28
+    #: Precharge time (closing an open row).
+    t_rp: int = 28
+    #: Data-bus occupancy per 32 B atom (burst time).
+    t_burst: int = 2
+    #: Minimum same-bank activate-to-activate spacing.
+    t_rc: int = 64
+    #: Write recovery: a write must settle before its row can close.
+    t_wr: int = 12
+    #: Bus turnaround penalty when switching read<->write.
+    t_turnaround: int = 8
+    #: Refresh interval and duration (coarse, per-channel blackout).
+    t_refi: int = 5460
+    t_rfc: int = 240
+    #: Banks per channel.  One modeled channel aggregates a whole
+    #: memory partition (two 16-bit GDDR6 channels x 4 bank groups x 4
+    #: banks), so 32 independent banks is the realistic figure — and
+    #: fewer makes streaming results chaotically conflict-bound.
+    banks: int = 32
+    #: Row (page) size in bytes.
+    row_bytes: int = 2048
+    #: Enable the periodic refresh blackout.
+    refresh_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.t_cl, self.t_rcd, self.t_rp, self.t_burst) < 1:
+            raise ValueError("timing parameters must be >= 1")
+        if self.banks < 1 or self.row_bytes < 64:
+            raise ValueError("banks must be >= 1, row_bytes >= 64")
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.t_cl + self.t_burst
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cl + self.t_burst

@@ -1,0 +1,63 @@
+"""Error-correcting and error-detecting codes.
+
+This package implements, from first principles, the coding machinery a
+memory-protection study needs:
+
+* :mod:`repro.ecc.gf` — GF(2) bit-vector helpers and GF(2^8) tables;
+* :mod:`repro.ecc.parity` — even/odd parity (the trivial baseline);
+* :mod:`repro.ecc.hamming` — Hamming SEC and extended-Hamming SEC-DED;
+* :mod:`repro.ecc.hsiao` — Hsiao odd-weight-column SEC-DED, the code
+  used in practically every DRAM controller;
+* :mod:`repro.ecc.reed_solomon` — Reed-Solomon over GF(2^8) for
+  chipkill-style symbol correction;
+* :mod:`repro.ecc.crc` — cyclic redundancy checks (detection only);
+* :mod:`repro.ecc.mac` — truncated keyed MACs for integrity metadata;
+* :mod:`repro.ecc.tagged` — alias-free *tagged* ECC in the spirit of
+  Implicit Memory Tagging: the code simultaneously protects data and
+  checks a small memory tag;
+* :mod:`repro.ecc.faults` — fault models and injection campaigns.
+
+All block codes implement the :class:`repro.ecc.base.ErrorCode`
+interface so the protection layer and the reliability experiments can
+treat them interchangeably.
+"""
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.bch import BchCode
+from repro.ecc.crc import CrcCode
+from repro.ecc.faults import (
+    BurstFault,
+    ChipFault,
+    FaultCampaign,
+    MultiBitFault,
+    SingleBitFault,
+)
+from repro.ecc.hamming import ExtendedHammingCode, HammingCode
+from repro.ecc.hsiao import HsiaoCode
+from repro.ecc.interleaved import InterleavedCode
+from repro.ecc.mac import TruncatedMac
+from repro.ecc.parity import ParityCode
+from repro.ecc.reed_solomon import ReedSolomonCode
+from repro.ecc.tagged import TaggedHsiaoCode
+
+__all__ = [
+    "CodeSpec",
+    "DecodeResult",
+    "DecodeStatus",
+    "ErrorCode",
+    "ParityCode",
+    "BchCode",
+    "HammingCode",
+    "ExtendedHammingCode",
+    "HsiaoCode",
+    "InterleavedCode",
+    "ReedSolomonCode",
+    "CrcCode",
+    "TruncatedMac",
+    "TaggedHsiaoCode",
+    "SingleBitFault",
+    "MultiBitFault",
+    "BurstFault",
+    "ChipFault",
+    "FaultCampaign",
+]

@@ -1,0 +1,100 @@
+"""Common interface for block error codes.
+
+Codes operate on byte strings.  A codeword is ``data || check`` —
+systematic layout — so the protection layer can compute metadata sizes
+directly from :attr:`CodeSpec.check_bytes`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding a (possibly corrupted) codeword."""
+
+    #: Syndrome clean: no error detected.
+    CLEAN = "clean"
+    #: An error was detected and fully corrected.
+    CORRECTED = "corrected"
+    #: An error was detected but cannot be corrected (DUE).
+    DETECTED_UNCORRECTABLE = "due"
+    #: The codeword decoded "successfully" but to wrong data — only
+    #: reportable by fault-injection campaigns that know ground truth.
+    MISCORRECTED = "miscorrected"
+    #: Tagged codes only: data is clean but the tag does not match.
+    TAG_MISMATCH = "tag_mismatch"
+
+
+@dataclass(frozen=True)
+class CodeSpec:
+    """Static shape of a code: data/check sizes in bits."""
+
+    name: str
+    data_bits: int
+    check_bits: int
+
+    @property
+    def data_bytes(self) -> int:
+        return (self.data_bits + 7) // 8
+
+    @property
+    def check_bytes(self) -> int:
+        return (self.check_bits + 7) // 8
+
+    @property
+    def codeword_bytes(self) -> int:
+        return self.data_bytes + self.check_bytes
+
+    @property
+    def redundancy(self) -> float:
+        """Check bits as a fraction of data bits."""
+        return self.check_bits / self.data_bits
+
+
+@dataclass
+class DecodeResult:
+    """What a decoder reports for one codeword."""
+
+    status: DecodeStatus
+    data: bytes
+    #: Bit positions corrected (data-relative), when applicable.
+    corrected_bits: Optional[tuple] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the decoder believes the data is good."""
+        return self.status in (DecodeStatus.CLEAN, DecodeStatus.CORRECTED)
+
+
+class ErrorCode(abc.ABC):
+    """A systematic block code over byte strings."""
+
+    spec: CodeSpec
+
+    @abc.abstractmethod
+    def encode(self, data: bytes) -> bytes:
+        """Return the check bytes for ``data`` (not the full codeword)."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        """Check (and possibly correct) ``data`` against ``check``."""
+
+    def codeword(self, data: bytes) -> bytes:
+        """Convenience: systematic codeword ``data || check``."""
+        return data + self.encode(data)
+
+    def _require_sizes(self, data: bytes, check: Optional[bytes] = None) -> None:
+        if len(data) != self.spec.data_bytes:
+            raise ValueError(
+                f"{self.spec.name}: expected {self.spec.data_bytes} data bytes, "
+                f"got {len(data)}"
+            )
+        if check is not None and len(check) != self.spec.check_bytes:
+            raise ValueError(
+                f"{self.spec.name}: expected {self.spec.check_bytes} check bytes, "
+                f"got {len(check)}"
+            )

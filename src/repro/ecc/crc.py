@@ -1,0 +1,63 @@
+"""Cyclic redundancy checks — detection-only codes.
+
+Used for the "integrity metadata" protection configurations where the
+metadata is a checksum rather than a correcting code, and as a
+reference detector in the fault-injection experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+
+#: Well-known polynomials (reflected form), keyed by width.
+STANDARD_POLYS: Dict[int, int] = {
+    8: 0xAB,         # CRC-8/Maxim reflected
+    16: 0xA001,      # CRC-16/IBM (ARC)
+    32: 0xEDB88320,  # CRC-32 (IEEE 802.3)
+}
+
+
+class CrcCode(ErrorCode):
+    """A table-driven reflected CRC of 8, 16, or 32 bits."""
+
+    def __init__(self, data_bytes: int, width: int = 32, poly: int = 0):
+        if width not in (8, 16, 32):
+            raise ValueError("width must be 8, 16, or 32")
+        if data_bytes < 1:
+            raise ValueError("data_bytes must be >= 1")
+        self._width = width
+        self._poly = poly or STANDARD_POLYS[width]
+        self._mask = (1 << width) - 1
+        self.spec = CodeSpec(name=f"crc{width}", data_bits=data_bytes * 8,
+                             check_bits=width)
+        self._table = self._build_table()
+
+    def _build_table(self) -> List[int]:
+        table = []
+        for byte in range(256):
+            crc = byte
+            for _ in range(8):
+                if crc & 1:
+                    crc = (crc >> 1) ^ self._poly
+                else:
+                    crc >>= 1
+            table.append(crc & self._mask)
+        return table
+
+    def checksum(self, data: bytes) -> int:
+        crc = self._mask  # init = all-ones
+        for byte in data:
+            crc = (crc >> 8) ^ self._table[(crc ^ byte) & 0xFF]
+        return crc ^ self._mask  # final xor
+
+    def encode(self, data: bytes) -> bytes:
+        self._require_sizes(data)
+        return self.checksum(data).to_bytes(self.spec.check_bytes, "little")
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        self._require_sizes(data, check)
+        if self.encode(data) == check:
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)

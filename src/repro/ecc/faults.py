@@ -1,0 +1,185 @@
+"""Fault models and injection campaigns.
+
+A fault model picks bit positions to flip inside a codeword
+(``data || check``, little-endian bit order).  A campaign runs many
+(random data, random fault) trials through a code and classifies each
+decode against ground truth, yielding the detection/correction coverage
+table the reliability experiment (T5) reports.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.ecc.base import DecodeStatus, ErrorCode
+from repro.ecc.gf import flip_bits
+
+
+class FaultModel(abc.ABC):
+    """Chooses which codeword bits a fault flips."""
+
+    name: str
+
+    @abc.abstractmethod
+    def sample(self, codeword_bits: int, rng: random.Random) -> List[int]:
+        """Return the (non-empty) list of bit positions to flip."""
+
+
+@dataclass
+class SingleBitFault(FaultModel):
+    """One random bit flip — the canonical soft error."""
+
+    name: str = "single-bit"
+
+    def sample(self, codeword_bits: int, rng: random.Random) -> List[int]:
+        return [rng.randrange(codeword_bits)]
+
+
+@dataclass
+class MultiBitFault(FaultModel):
+    """``count`` independent random bit flips."""
+
+    count: int = 2
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not self.name:
+            self.name = f"{self.count}-random-bits"
+
+    def sample(self, codeword_bits: int, rng: random.Random) -> List[int]:
+        return rng.sample(range(codeword_bits), self.count)
+
+
+@dataclass
+class BurstFault(FaultModel):
+    """A burst: flips confined to a window of ``length`` adjacent bits.
+
+    The first and last bit of the window always flip (otherwise it
+    would be a shorter burst); interior bits flip with probability 1/2.
+    Models the spatially-correlated multi-bit upsets beam studies see.
+    """
+
+    length: int = 4
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.length < 2:
+            raise ValueError("burst length must be >= 2")
+        if not self.name:
+            self.name = f"burst-{self.length}"
+
+    def sample(self, codeword_bits: int, rng: random.Random) -> List[int]:
+        if self.length > codeword_bits:
+            raise ValueError("burst longer than codeword")
+        start = rng.randrange(codeword_bits - self.length + 1)
+        bits = [start, start + self.length - 1]
+        for off in range(1, self.length - 1):
+            if rng.random() < 0.5:
+                bits.append(start + off)
+        return bits
+
+
+@dataclass
+class ChipFault(FaultModel):
+    """A whole-symbol (device) failure: random flips inside one aligned
+    ``symbol_bits``-wide symbol — what chipkill codes are built for."""
+
+    symbol_bits: int = 8
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.symbol_bits < 2:
+            raise ValueError("symbol_bits must be >= 2")
+        if not self.name:
+            self.name = f"chip-{self.symbol_bits}b"
+
+    def sample(self, codeword_bits: int, rng: random.Random) -> List[int]:
+        symbols = codeword_bits // self.symbol_bits
+        if symbols == 0:
+            raise ValueError("codeword smaller than one symbol")
+        symbol = rng.randrange(symbols)
+        base = symbol * self.symbol_bits
+        pattern = rng.randrange(1, 1 << self.symbol_bits)
+        return [base + i for i in range(self.symbol_bits) if pattern & (1 << i)]
+
+
+@dataclass
+class CampaignResult:
+    """Coverage classification over a fault-injection campaign."""
+
+    code_name: str
+    fault_name: str
+    trials: int
+    corrected: int = 0
+    detected: int = 0
+    miscorrected: int = 0
+    undetected: int = 0
+    benign: int = 0
+
+    @property
+    def sdc(self) -> int:
+        """Silent data corruptions: wrong data believed good."""
+        return self.miscorrected + self.undetected
+
+    def rate(self, count: int) -> float:
+        return count / self.trials if self.trials else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "code": self.code_name,
+            "fault": self.fault_name,
+            "trials": self.trials,
+            "corrected_rate": self.rate(self.corrected),
+            "detected_rate": self.rate(self.detected),
+            "sdc_rate": self.rate(self.sdc),
+            "benign_rate": self.rate(self.benign),
+        }
+
+
+class FaultCampaign:
+    """Monte-Carlo fault injection against one code."""
+
+    def __init__(self, code: ErrorCode, seed: int = 1):
+        self.code = code
+        self.seed = seed
+
+    def run(self, fault: FaultModel, trials: int = 1000) -> CampaignResult:
+        rng = random.Random((self.seed, fault.name, trials).__hash__() & 0x7FFFFFFF)
+        spec = self.code.spec
+        result = CampaignResult(spec.name, fault.name, trials)
+        codeword_bits = spec.codeword_bytes * 8
+        for _ in range(trials):
+            data = bytes(rng.randrange(256) for _ in range(spec.data_bytes))
+            check = self.code.encode(data)
+            flips = fault.sample(codeword_bits, rng)
+            corrupted = flip_bits(data + check, flips)
+            bad_data = corrupted[: spec.data_bytes]
+            bad_check = corrupted[spec.data_bytes:]
+            outcome = self.code.decode(bad_data, bad_check)
+            self._classify(result, outcome.status, outcome.data, data, bad_data)
+        return result
+
+    @staticmethod
+    def _classify(result: CampaignResult, status: DecodeStatus,
+                  decoded: bytes, truth: bytes, corrupted: bytes) -> None:
+        if status is DecodeStatus.CLEAN:
+            if corrupted == truth:
+                result.benign += 1       # flips landed only in check bits
+            else:
+                result.undetected += 1   # SDC: bad data passed as clean
+        elif status is DecodeStatus.CORRECTED:
+            if decoded == truth:
+                result.corrected += 1
+            else:
+                result.miscorrected += 1
+        else:
+            result.detected += 1
+
+    def sweep(self, faults: Sequence[FaultModel], trials: int = 1000) -> List[CampaignResult]:
+        """Run one campaign per fault model."""
+        return [self.run(fault, trials) for fault in faults]

@@ -1,0 +1,155 @@
+"""Finite-field helpers.
+
+Two small toolkits live here:
+
+* **GF(2) bit vectors** represented as Python ints (bit ``i`` of the
+  int is element ``i`` of the vector).  These back the binary linear
+  codes (Hamming, Hsiao, tagged ECC).
+* **GF(2^8)** arithmetic with exp/log tables over the primitive
+  polynomial ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), backing the
+  Reed-Solomon code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# ---------------------------------------------------------------------------
+# GF(2) bit-vector helpers
+# ---------------------------------------------------------------------------
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Little-endian bytes -> bit-vector int (bit 0 = LSB of byte 0)."""
+    return int.from_bytes(data, "little")
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Bit-vector int -> little-endian bytes of the given length."""
+    return value.to_bytes(length, "little")
+
+
+def parity(value: int) -> int:
+    """Parity (XOR-reduction) of all bits of a non-negative int."""
+    return bin(value).count("1") & 1
+
+
+def popcount(value: int) -> int:
+    """Number of set bits."""
+    return bin(value).count("1")
+
+
+def dot_gf2(a: int, b: int) -> int:
+    """GF(2) inner product of two bit vectors."""
+    return parity(a & b)
+
+
+def matvec_gf2(rows: List[int], vec: int) -> int:
+    """Multiply a GF(2) matrix (list of row bit-masks) by a vector.
+
+    Returns the result as a bit-vector int: bit ``i`` is
+    ``parity(rows[i] & vec)``.
+    """
+    out = 0
+    for i, row in enumerate(rows):
+        if parity(row & vec):
+            out |= 1 << i
+    return out
+
+
+def flip_bit(data: bytes, bit: int) -> bytes:
+    """Return ``data`` with the given (little-endian) bit flipped."""
+    if not 0 <= bit < len(data) * 8:
+        raise ValueError(f"bit {bit} out of range for {len(data)} bytes")
+    buf = bytearray(data)
+    buf[bit // 8] ^= 1 << (bit % 8)
+    return bytes(buf)
+
+
+def flip_bits(data: bytes, bits) -> bytes:
+    """Return ``data`` with every bit position in ``bits`` flipped."""
+    buf = bytearray(data)
+    for bit in bits:
+        if not 0 <= bit < len(buf) * 8:
+            raise ValueError(f"bit {bit} out of range for {len(buf)} bytes")
+        buf[bit // 8] ^= 1 << (bit % 8)
+    return bytes(buf)
+
+
+# ---------------------------------------------------------------------------
+# GF(2^8)
+# ---------------------------------------------------------------------------
+
+_PRIMITIVE_POLY = 0x11D
+_FIELD_SIZE = 256
+
+GF8_EXP: List[int] = [0] * (_FIELD_SIZE * 2)
+GF8_LOG: List[int] = [0] * _FIELD_SIZE
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(_FIELD_SIZE - 1):
+        GF8_EXP[i] = x
+        GF8_LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIMITIVE_POLY
+    # Duplicate for mod-free multiplication.
+    for i in range(_FIELD_SIZE - 1, _FIELD_SIZE * 2):
+        GF8_EXP[i] = GF8_EXP[i - (_FIELD_SIZE - 1)]
+
+
+_build_tables()
+
+
+def gf8_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return GF8_EXP[GF8_LOG[a] + GF8_LOG[b]]
+
+
+def gf8_div(a: int, b: int) -> int:
+    """Divide in GF(2^8); b must be nonzero."""
+    if b == 0:
+        raise ZeroDivisionError("GF(2^8) division by zero")
+    if a == 0:
+        return 0
+    return GF8_EXP[(GF8_LOG[a] - GF8_LOG[b]) % (_FIELD_SIZE - 1)]
+
+
+def gf8_pow(a: int, n: int) -> int:
+    """Raise to a (possibly negative) integer power in GF(2^8)."""
+    if a == 0:
+        if n <= 0:
+            raise ZeroDivisionError("0 to a non-positive power")
+        return 0
+    return GF8_EXP[(GF8_LOG[a] * n) % (_FIELD_SIZE - 1)]
+
+
+def gf8_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8)."""
+    if a == 0:
+        raise ZeroDivisionError("GF(2^8) inverse of zero")
+    return GF8_EXP[(_FIELD_SIZE - 1) - GF8_LOG[a]]
+
+
+def poly_eval(poly: List[int], x: int) -> int:
+    """Evaluate a GF(2^8) polynomial (lowest-degree coefficient first)."""
+    acc = 0
+    for coeff in reversed(poly):
+        acc = gf8_mul(acc, x) ^ coeff
+    return acc
+
+
+def poly_mul(a: List[int], b: List[int]) -> List[int]:
+    """Multiply two GF(2^8) polynomials."""
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            if cb:
+                out[i + j] ^= gf8_mul(ca, cb)
+    return out

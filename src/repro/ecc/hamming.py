@@ -1,0 +1,135 @@
+"""Hamming codes: SEC and extended SEC-DED.
+
+The classic positional construction: check bits sit at power-of-two
+positions of the combined codeword, and the syndrome, read as a binary
+number, names the erroneous position directly.  The extended variant
+adds one overall parity bit, upgrading the code from SEC to SEC-DED.
+
+These are textbook codes kept mostly for the reliability comparison;
+the memory controller in the simulated system uses the Hsiao variant
+(:mod:`repro.ecc.hsiao`), which has equal strength but balanced check
+equations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.gf import bytes_to_int, int_to_bytes, parity
+
+
+def check_bits_for(data_bits: int) -> int:
+    """Minimum r with 2^r >= data_bits + r + 1."""
+    r = 1
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+class HammingCode(ErrorCode):
+    """Single-error-correcting Hamming code (no DED)."""
+
+    def __init__(self, data_bytes: int):
+        if data_bytes < 1:
+            raise ValueError("data_bytes must be >= 1")
+        data_bits = data_bytes * 8
+        r = check_bits_for(data_bits)
+        self.spec = CodeSpec(name=f"hamming({data_bits + r},{data_bits})",
+                             data_bits=data_bits, check_bits=r)
+        self._r = r
+        self._data_bits = data_bits
+        # Positions 1..n of the classical codeword; data bits fill the
+        # non-power-of-two positions in order.
+        self._data_positions: List[int] = []
+        pos = 1
+        while len(self._data_positions) < data_bits:
+            if pos & (pos - 1):  # not a power of two
+                self._data_positions.append(pos)
+            pos += 1
+        # For each check bit c (position 2^c), the mask of *data bit
+        # indices* it covers.
+        self._check_masks = [0] * r
+        for idx, position in enumerate(self._data_positions):
+            for c in range(r):
+                if position & (1 << c):
+                    self._check_masks[c] |= 1 << idx
+        # Map a nonzero syndrome (= codeword position) back to a data
+        # bit index, or None when it names a check bit.
+        self._position_to_data = {p: i for i, p in enumerate(self._data_positions)}
+
+    def encode(self, data: bytes) -> bytes:
+        self._require_sizes(data)
+        vec = bytes_to_int(data)
+        check = 0
+        for c, mask in enumerate(self._check_masks):
+            if parity(vec & mask):
+                check |= 1 << c
+        return int_to_bytes(check, self.spec.check_bytes)
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        self._require_sizes(data, check)
+        vec = bytes_to_int(data)
+        stored = bytes_to_int(check)
+        computed = bytes_to_int(self.encode(data))
+        syndrome = stored ^ computed
+        if syndrome == 0:
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        if syndrome in self._position_to_data:
+            idx = self._position_to_data[syndrome]
+            vec ^= 1 << idx
+            return DecodeResult(
+                DecodeStatus.CORRECTED,
+                int_to_bytes(vec, self.spec.data_bytes),
+                corrected_bits=(idx,),
+            )
+        if syndrome < (1 << self._r) and syndrome & (syndrome - 1) == 0:
+            # Error in a check bit itself: data is fine.
+            return DecodeResult(DecodeStatus.CORRECTED, data, corrected_bits=())
+        # Syndrome names a position beyond the codeword: detectable junk.
+        return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+
+
+class ExtendedHammingCode(ErrorCode):
+    """Hamming SEC plus an overall parity bit: SEC-DED."""
+
+    def __init__(self, data_bytes: int):
+        self._inner = HammingCode(data_bytes)
+        r = self._inner.spec.check_bits + 1
+        self.spec = CodeSpec(
+            name=f"ext-hamming({self._inner.spec.data_bits + r},"
+                 f"{self._inner.spec.data_bits})",
+            data_bits=self._inner.spec.data_bits,
+            check_bits=r,
+        )
+
+    def encode(self, data: bytes) -> bytes:
+        self._require_sizes(data)
+        inner_check = self._inner.encode(data)
+        overall = parity(bytes_to_int(data) ^ bytes_to_int(inner_check))
+        bits = bytes_to_int(inner_check) | (overall << (self.spec.check_bits - 1))
+        return int_to_bytes(bits, self.spec.check_bytes)
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        self._require_sizes(data, check)
+        bits = bytes_to_int(check)
+        overall_stored = (bits >> (self.spec.check_bits - 1)) & 1
+        inner_bits = bits & ((1 << (self.spec.check_bits - 1)) - 1)
+        inner_check = int_to_bytes(inner_bits, self._inner.spec.check_bytes)
+
+        computed_overall = parity(bytes_to_int(data) ^ inner_bits)
+        parity_mismatch = computed_overall != overall_stored
+        inner_result = self._inner.decode(data, inner_check)
+
+        if inner_result.status is DecodeStatus.CLEAN:
+            if parity_mismatch:
+                # Single flip in the overall parity bit itself.
+                return DecodeResult(DecodeStatus.CORRECTED, data, corrected_bits=())
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        if inner_result.status is DecodeStatus.CORRECTED:
+            if parity_mismatch:
+                # Odd total weight: genuine single error, corrected.
+                return inner_result
+            # Even weight with nonzero syndrome: double error detected.
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+        return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)

@@ -1,0 +1,149 @@
+"""Interleaved code organizations.
+
+Beam studies of GPU DRAM (the authors' MICRO'21 line of work) show that
+multi-bit errors cluster spatially: bursts along a device's data pins.
+A single SEC-DED codeword miscorrects many such bursts (see T5's
+burst-4 column).  The classic low-cost fix is *interleaving*: split the
+data round-robin across ``ways`` independent codewords, so an N-bit
+burst lands at most ``ceil(N / ways)`` errors in any one codeword — a
+4-way interleaved SEC-DED corrects any 4-bit burst outright.
+
+The cost is ``ways`` times the check bits of a ``1/ways``-size code
+(slightly more bits than one big code, still far less than symbol
+codes) and ``ways`` decoders.  :class:`InterleavedCode` wraps any
+:class:`~repro.ecc.base.ErrorCode` factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.hsiao import HsiaoCode
+
+
+class InterleavedCode(ErrorCode):
+    """Round-robin bit interleaving over ``ways`` inner codewords.
+
+    Data bit ``i`` belongs to inner codeword ``i % ways``.  The outer
+    check bytes are the concatenation of the inner codes' check bytes.
+    """
+
+    def __init__(self, data_bytes: int, ways: int = 4,
+                 inner_factory: Callable[[int], ErrorCode] = HsiaoCode):
+        if ways < 2:
+            raise ValueError("ways must be >= 2 (1 way is just the inner code)")
+        data_bits = data_bytes * 8
+        if data_bits % ways:
+            raise ValueError(f"{data_bits} data bits do not split into "
+                             f"{ways} equal ways")
+        inner_bits = data_bits // ways
+        if inner_bits % 8:
+            raise ValueError("each way must hold a whole number of bytes")
+        self.ways = ways
+        self._inner: List[ErrorCode] = [
+            inner_factory(inner_bits // 8) for _ in range(ways)
+        ]
+        check_bits = sum(c.spec.check_bits for c in self._inner)
+        # Each inner check field is padded to whole bytes in storage.
+        self._inner_check_bytes = [c.spec.check_bytes for c in self._inner]
+        if len(set(self._inner_check_bytes)) != 1:
+            raise ValueError("inner codes must have equal check sizes")
+        check_storage_bits = sum(self._inner_check_bytes) * 8
+        self.spec = CodeSpec(
+            name=f"{ways}x-interleaved-{self._inner[0].spec.name}",
+            data_bits=data_bits, check_bits=check_storage_bits)
+        del check_bits
+        # Precompute the bit scatter/gather maps once.
+        self._lane_bits = inner_bits
+        self._maps = self._build_maps(data_bits, ways)
+
+    @staticmethod
+    def _build_maps(data_bits: int, ways: int) -> List[List[int]]:
+        """maps[w] = global bit positions belonging to way w, in order."""
+        return [list(range(w, data_bits, ways)) for w in range(ways)]
+
+    # -- bit plumbing ---------------------------------------------------------
+
+    def _split(self, data: bytes) -> List[bytes]:
+        value = int.from_bytes(data, "little")
+        out = []
+        for way_map in self._maps:
+            lane = 0
+            for i, bit in enumerate(way_map):
+                if value >> bit & 1:
+                    lane |= 1 << i
+            out.append(lane.to_bytes(self._lane_bits // 8, "little"))
+        return out
+
+    def _merge(self, lanes: List[bytes]) -> bytes:
+        value = 0
+        for way_map, lane_bytes in zip(self._maps, lanes):
+            lane = int.from_bytes(lane_bytes, "little")
+            for i, bit in enumerate(way_map):
+                if lane >> i & 1:
+                    value |= 1 << bit
+        return value.to_bytes(self.spec.data_bytes, "little")
+
+    def _interleave_check(self, parts: List[bytes]) -> bytes:
+        """Bit-interleave the per-way check fields, so a burst in the
+        stored check region also spreads across ways."""
+        size = self._inner_check_bytes[0]
+        total_bits = size * 8 * self.ways
+        value = 0
+        for way, part in enumerate(parts):
+            lane = int.from_bytes(part, "little")
+            for i in range(size * 8):
+                if lane >> i & 1:
+                    value |= 1 << (i * self.ways + way)
+        return value.to_bytes(total_bits // 8, "little")
+
+    def _split_check(self, check: bytes) -> List[bytes]:
+        size = self._inner_check_bytes[0]
+        value = int.from_bytes(check, "little")
+        parts = []
+        for way in range(self.ways):
+            lane = 0
+            for i in range(size * 8):
+                if value >> (i * self.ways + way) & 1:
+                    lane |= 1 << i
+            parts.append(lane.to_bytes(size, "little"))
+        return parts
+
+    # -- ErrorCode interface ------------------------------------------------------
+
+    def encode(self, data: bytes) -> bytes:
+        self._require_sizes(data)
+        lanes = self._split(data)
+        return self._interleave_check(
+            [code.encode(lane) for code, lane in zip(self._inner, lanes)])
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        self._require_sizes(data, check)
+        lanes = self._split(data)
+        checks = self._split_check(check)
+        fixed_lanes: List[bytes] = []
+        corrected: List[Tuple[int, ...]] = []
+        status = DecodeStatus.CLEAN
+        for way, (code, lane, lane_check) in enumerate(
+                zip(self._inner, lanes, checks)):
+            result = code.decode(lane, lane_check)
+            if result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+                return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+            if result.status is DecodeStatus.CORRECTED:
+                status = DecodeStatus.CORRECTED
+                if result.corrected_bits:
+                    corrected.append(tuple(
+                        self._maps[way][b] for b in result.corrected_bits))
+            fixed_lanes.append(result.data)
+        if status is DecodeStatus.CLEAN:
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        fixed = self._merge(fixed_lanes)
+        bits = tuple(b for group in corrected for b in group)
+        return DecodeResult(DecodeStatus.CORRECTED, fixed,
+                            corrected_bits=bits)
+
+    @property
+    def burst_correction_length(self) -> int:
+        """Longest burst guaranteed correctable (one bit per way)."""
+        return self.ways

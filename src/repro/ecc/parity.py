@@ -1,0 +1,54 @@
+"""Even parity over a data block — the weakest useful code.
+
+Detects any odd number of bit flips; corrects nothing.  Used as the
+bottom rung in reliability comparisons (Table T5) and for interleaved
+per-byte parity variants.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.gf import bytes_to_int, parity
+
+
+class ParityCode(ErrorCode):
+    """Even parity, optionally interleaved.
+
+    With ``interleave=n`` the data bits are split round-robin into ``n``
+    groups, each carrying its own parity bit; an ``n``-bit burst then
+    lands one flip in each group and is always detected.
+    """
+
+    def __init__(self, data_bytes: int, interleave: int = 1):
+        if data_bytes < 1:
+            raise ValueError("data_bytes must be >= 1")
+        if interleave < 1 or interleave > 64:
+            raise ValueError("interleave must be in [1, 64]")
+        self.interleave = interleave
+        check_bits = interleave
+        self.spec = CodeSpec(
+            name=f"parity{interleave}x", data_bits=data_bytes * 8, check_bits=check_bits
+        )
+        # Precompute the group masks once.
+        self._masks = []
+        for g in range(interleave):
+            mask = 0
+            for bit in range(g, data_bytes * 8, interleave):
+                mask |= 1 << bit
+            self._masks.append(mask)
+
+    def encode(self, data: bytes) -> bytes:
+        self._require_sizes(data)
+        vec = bytes_to_int(data)
+        bits = 0
+        for g, mask in enumerate(self._masks):
+            if parity(vec & mask):
+                bits |= 1 << g
+        return bits.to_bytes(self.spec.check_bytes, "little")
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        self._require_sizes(data, check)
+        expected = self.encode(data)
+        if expected == check:
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)

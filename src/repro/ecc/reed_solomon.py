@@ -1,0 +1,173 @@
+"""Reed-Solomon codes over GF(2^8).
+
+RS(n, k) with ``2t = n - k`` check symbols corrects up to ``t``
+arbitrary byte errors per codeword — the standard route to
+chipkill-class protection, where each DRAM device contributes whole
+symbols and a dead device corrupts aligned bytes that a ``t >= 1``
+symbol code can repair.
+
+Decoding is the classical pipeline: syndromes, Berlekamp-Massey for the
+error locator, Chien search for the roots, Forney for the magnitudes.
+The generator uses the ``b = 0`` convention: ``g(x) = prod (x - a^i)``
+for ``i in [0, 2t)`` and syndromes ``S_i = r(a^i)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.gf import GF8_EXP, gf8_div, gf8_mul, gf8_pow, poly_eval, poly_mul
+
+
+class ReedSolomonCode(ErrorCode):
+    """Systematic RS over GF(2^8): codeword = data bytes || check bytes.
+
+    The first data byte is the highest-degree coefficient of the
+    codeword polynomial (network order), matching the usual systematic
+    encoder built from polynomial long division.
+    """
+
+    def __init__(self, data_bytes: int, check_symbols: int):
+        if data_bytes < 1:
+            raise ValueError("data_bytes must be >= 1")
+        if check_symbols < 2 or check_symbols % 2:
+            raise ValueError("check_symbols must be an even number >= 2")
+        n = data_bytes + check_symbols
+        if n > 255:
+            raise ValueError(f"codeword length {n} exceeds GF(2^8) limit of 255")
+        self._n = n
+        self._k = data_bytes
+        self._t = check_symbols // 2
+        self.spec = CodeSpec(name=f"rs({n},{data_bytes})",
+                             data_bits=data_bytes * 8, check_bits=check_symbols * 8)
+        # g(x) = prod_{i=0}^{2t-1} (x - alpha^i), lowest degree first.
+        gen = [1]
+        for i in range(check_symbols):
+            gen = poly_mul(gen, [GF8_EXP[i], 1])
+        # For the division-based encoder we want highest degree first,
+        # normalized (leading coefficient is always 1).
+        self._gen_hi_first = list(reversed(gen))
+
+    @property
+    def t(self) -> int:
+        """Maximum correctable symbol errors."""
+        return self._t
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, data: bytes) -> bytes:
+        self._require_sizes(data)
+        twot = 2 * self._t
+        rem = [0] * twot
+        for byte in data:
+            factor = byte ^ rem[0]
+            rem = rem[1:] + [0]
+            if factor:
+                for i in range(twot):
+                    coeff = self._gen_hi_first[i + 1]
+                    if coeff:
+                        rem[i] ^= gf8_mul(coeff, factor)
+        return bytes(rem)
+
+    # -- decoding ----------------------------------------------------------
+
+    def _syndromes(self, codeword: bytes) -> List[int]:
+        out = []
+        for i in range(2 * self._t):
+            x = GF8_EXP[i]
+            acc = 0
+            for byte in codeword:
+                acc = gf8_mul(acc, x) ^ byte
+            out.append(acc)
+        return out
+
+    @staticmethod
+    def _berlekamp_massey(syndromes: List[int]) -> List[int]:
+        """Error-locator polynomial (lowest degree first, locator[0] == 1)."""
+        locator = [1]
+        backup = [1]
+        errors = 0          # current L
+        shift = 1           # m
+        prev_delta = 1      # b
+        for step, syndrome in enumerate(syndromes):
+            delta = syndrome
+            for i in range(1, errors + 1):
+                delta ^= gf8_mul(locator[i], syndromes[step - i])
+            if delta == 0:
+                shift += 1
+                continue
+            scale = gf8_div(delta, prev_delta)
+            needed = len(backup) + shift
+            if needed > len(locator):
+                locator = locator + [0] * (needed - len(locator))
+            if 2 * errors <= step:
+                saved = list(locator[: errors + 1])
+                for i, coeff in enumerate(backup):
+                    if coeff:
+                        locator[i + shift] ^= gf8_mul(scale, coeff)
+                errors = step + 1 - errors
+                backup = saved
+                prev_delta = delta
+                shift = 1
+            else:
+                for i, coeff in enumerate(backup):
+                    if coeff:
+                        locator[i + shift] ^= gf8_mul(scale, coeff)
+                shift += 1
+        locator = locator[: errors + 1]
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        return locator
+
+    def _find_error_positions(self, locator: List[int]) -> List[int]:
+        """Chien search.  Returns codeword byte indices, or [] on failure."""
+        positions = []
+        degree = len(locator) - 1
+        for pos in range(self._n):
+            power = self._n - 1 - pos  # degree of this byte's term
+            x_inv = gf8_pow(GF8_EXP[1], -power) if power else 1
+            if poly_eval(locator, x_inv) == 0:
+                positions.append(pos)
+        if len(positions) != degree:
+            return []
+        return positions
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        self._require_sizes(data, check)
+        codeword = bytearray(data + check)
+        syndromes = self._syndromes(bytes(codeword))
+        if not any(syndromes):
+            return DecodeResult(DecodeStatus.CLEAN, data)
+
+        locator = self._berlekamp_massey(syndromes)
+        errors = len(locator) - 1
+        if errors == 0 or errors > self._t:
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+        positions = self._find_error_positions(locator)
+        if not positions:
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+
+        # Forney: omega(x) = [S(x) * lambda(x)] mod x^{2t}; with b = 0
+        # the magnitude at location X_j is X_j * omega(X_j^-1) / lambda'(X_j^-1).
+        twot = 2 * self._t
+        omega = poly_mul(list(syndromes), locator)[:twot]
+        deriv = [locator[i] if i % 2 == 1 else 0 for i in range(1, len(locator))]
+        for pos in positions:
+            power = self._n - 1 - pos
+            x_j = gf8_pow(GF8_EXP[1], power) if power else 1
+            x_inv = gf8_pow(GF8_EXP[1], -power) if power else 1
+            den = poly_eval(deriv, x_inv)
+            if den == 0:
+                return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+            magnitude = gf8_mul(x_j, gf8_div(poly_eval(omega, x_inv), den))
+            codeword[pos] ^= magnitude
+
+        # A >t-error word can slip through with a consistent-looking
+        # locator; re-checking the syndrome catches the inconsistent ones.
+        if any(self._syndromes(bytes(codeword))):
+            return DecodeResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+        fixed_data = bytes(codeword[: self._k])
+        corrected_bits = tuple(p * 8 for p in positions if p < self._k)
+        return DecodeResult(DecodeStatus.CORRECTED, fixed_data,
+                            corrected_bits=corrected_bits)

@@ -1,0 +1,147 @@
+"""Alias-free tagged ECC (Implicit-Memory-Tagging style).
+
+A tagged code folds a small memory tag into the ECC check bits: the
+encoder computes ``check = H_d * data  XOR  H_t * tag`` and the decoder
+recomputes the syndrome assuming the *expected* tag.  Three outcomes
+must be distinguishable:
+
+* syndrome 0 — data clean, tag matches;
+* syndrome equals a data/check column — single data error, corrected;
+* syndrome equals ``H_t * (tag_delta)`` for some nonzero delta — data
+  clean but the tag does not match (a memory-safety violation).
+
+*Alias-free* means the third set of syndromes intersects neither zero
+nor the single-error columns, so a tag mismatch is never mistaken for a
+correctable error (which would silently "correct" a safety violation
+away).  The constructor searches for tag columns satisfying this and
+raises if the check-bit budget cannot support the requested tag width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ecc.base import CodeSpec, DecodeResult, DecodeStatus, ErrorCode
+from repro.ecc.gf import bytes_to_int, int_to_bytes, matvec_gf2
+from repro.ecc.hsiao import HsiaoCode, _min_check_bits
+
+
+class TaggedHsiaoCode(ErrorCode):
+    """Hsiao SEC-DED carrying a ``tag_bits``-wide implicit memory tag."""
+
+    def __init__(self, data_bytes: int, tag_bits: int = 4,
+                 check_bits: int = 0):
+        if not 1 <= tag_bits <= 8:
+            raise ValueError("tag_bits must be in [1, 8]")
+        data_bits = data_bytes * 8
+        r = check_bits or (_min_check_bits(data_bits) + 1)
+        base: Optional[HsiaoCode] = None
+        tag_cols = None
+        while r <= _min_check_bits(data_bits) + 6:
+            base = HsiaoCode(data_bytes, check_bits=r)
+            tag_cols = self._find_tag_columns(base, tag_bits, r)
+            if tag_cols is not None:
+                break
+            r += 1
+        if tag_cols is None or base is None:
+            raise ValueError(
+                f"no alias-free tag assignment for {tag_bits} tag bits "
+                f"on {data_bits} data bits"
+            )
+        self._base = base
+        self._tag_bits = tag_bits
+        self._tag_rows = self._columns_to_rows(tag_cols, r)
+        self.spec = CodeSpec(
+            name=f"tagged-hsiao({data_bits + r},{data_bits})+t{tag_bits}",
+            data_bits=data_bits,
+            check_bits=r,
+        )
+        # Precompute syndrome -> tag delta for every nonzero delta.
+        self._delta_syndromes: Dict[int, int] = {}
+        for delta in range(1, 1 << tag_bits):
+            self._delta_syndromes[matvec_gf2(self._tag_rows, delta)] = delta
+
+    @property
+    def tag_bits(self) -> int:
+        return self._tag_bits
+
+    @staticmethod
+    def _columns_to_rows(cols, r):
+        rows = [0] * r
+        for j, col in enumerate(cols):
+            for i in range(r):
+                if col & (1 << i):
+                    rows[i] |= 1 << j
+        return rows
+
+    @staticmethod
+    def _find_tag_columns(base: HsiaoCode, tag_bits: int, r: int):
+        """Greedy search for tag columns whose delta-syndromes are alias-free."""
+        forbidden = set(base._column_to_bit)            # single data-bit columns
+        forbidden.update(1 << i for i in range(r))      # single check-bit columns
+        forbidden.add(0)
+        used = set(base._column_to_bit)
+
+        def deltas_ok(cols):
+            rows = TaggedHsiaoCode._columns_to_rows(cols, r)
+            seen = set()
+            for delta in range(1, 1 << len(cols)):
+                s = matvec_gf2(rows, delta)
+                if s in forbidden or s in seen:
+                    return False
+                seen.add(s)
+            return True
+
+        chosen = []
+        # Candidates: odd-weight columns not used by data bits, densest
+        # first — dense columns keep XOR-combinations away from the
+        # sparse single-error columns.
+        candidates = sorted(
+            (c for c in range(1, 1 << r)
+             if bin(c).count("1") % 2 == 1 and c not in used and c not in forbidden),
+            key=lambda c: -bin(c).count("1"),
+        )
+        for cand in candidates:
+            chosen.append(cand)
+            if not deltas_ok(chosen):
+                chosen.pop()
+            elif len(chosen) == tag_bits:
+                return chosen
+        return None
+
+    # -- tagged interface ---------------------------------------------------
+
+    def encode_tagged(self, data: bytes, tag: int) -> bytes:
+        """Check bytes binding ``data`` to ``tag``."""
+        self._require_sizes(data)
+        if not 0 <= tag < (1 << self._tag_bits):
+            raise ValueError(f"tag {tag} out of range for {self._tag_bits} bits")
+        check = bytes_to_int(self._base.encode(data))
+        check ^= matvec_gf2(self._tag_rows, tag)
+        return int_to_bytes(check, self.spec.check_bytes)
+
+    def decode_tagged(self, data: bytes, check: bytes, expected_tag: int) -> DecodeResult:
+        """Verify data and tag together.
+
+        A tag mismatch with clean data reports
+        :attr:`DecodeStatus.TAG_MISMATCH`; single data errors under a
+        matching tag are corrected as usual.
+        """
+        self._require_sizes(data, check)
+        stored = bytes_to_int(check)
+        stored ^= matvec_gf2(self._tag_rows, expected_tag)
+        adjusted = int_to_bytes(stored, self.spec.check_bytes)
+        syndrome = self._base.syndrome(data, adjusted)
+        if syndrome == 0:
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        if syndrome in self._delta_syndromes:
+            return DecodeResult(DecodeStatus.TAG_MISMATCH, data)
+        return self._base.decode(data, adjusted)
+
+    # -- plain ErrorCode interface (tag 0) -----------------------------------
+
+    def encode(self, data: bytes) -> bytes:
+        return self.encode_tagged(data, 0)
+
+    def decode(self, data: bytes, check: bytes) -> DecodeResult:
+        return self.decode_tagged(data, check, 0)

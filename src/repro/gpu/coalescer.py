@@ -1,0 +1,42 @@
+"""The memory coalescer.
+
+GPU hardware merges the 32 lane addresses of a memory instruction into
+the minimal set of (cache line, sector mask) transactions.  A fully
+coalesced access touches 1 line / 4 sectors; a fully divergent one can
+touch 32 distinct lines with one sector each — a 32x difference in
+transaction count that protection schemes then amplify or absorb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+def coalesce(addresses: Iterable[int], line_bytes: int = 128,
+             sector_bytes: int = 32) -> List[Tuple[int, int]]:
+    """Merge lane addresses into ``[(line_addr, sector_mask), ...]``.
+
+    ``line_addr`` is the line index (byte address // line_bytes);
+    ``sector_mask`` has bit *i* set when sector *i* of that line is
+    touched.  Output is sorted by line for determinism.
+    """
+    if line_bytes % sector_bytes:
+        raise ValueError("line_bytes must be a multiple of sector_bytes")
+    sectors_per_line = line_bytes // sector_bytes
+    lines: Dict[int, int] = {}
+    for addr in addresses:
+        line = addr // line_bytes
+        sector = (addr % line_bytes) // sector_bytes
+        lines[line] = lines.get(line, 0) | (1 << sector)
+    del sectors_per_line
+    return sorted(lines.items())
+
+
+def transaction_count(addresses: Iterable[int], line_bytes: int = 128) -> int:
+    """Distinct lines touched — the classic coalescing metric."""
+    return len({addr // line_bytes for addr in addresses})
+
+
+def sector_count(addresses: Iterable[int], sector_bytes: int = 32) -> int:
+    """Distinct sectors touched."""
+    return len({addr // sector_bytes for addr in addresses})

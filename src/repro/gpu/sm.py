@@ -1,0 +1,326 @@
+"""The streaming multiprocessor model.
+
+Execution model (deliberately simple, occupancy-centric):
+
+* each SM runs ``W`` warps, each a finite trace of warp-ops;
+* one warp-op issues per cycle, round-robin over *ready* warps;
+* a compute op sleeps its warp; a load blocks its warp until every
+  coalesced transaction has data in the L1; stores are fire-and-forget
+  through a bounded store buffer;
+* the L1 is sectored, write-through no-allocate, with an MSHR file
+  whose exhaustion stalls the issuing warp (the main backpressure).
+
+This reproduces the first-order GPU behavior that matters for a memory
+-protection study: when outstanding-miss capacity or DRAM bandwidth is
+exhausted, added protection latency/traffic turns into lost cycles;
+when occupancy can hide it, it does not.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
+
+from repro.cache.mshr import MshrFile
+from repro.cache.sectored import SectoredCache
+from repro.gpu.coalescer import coalesce
+from repro.gpu.crossbar import Crossbar
+from repro.gpu.trace import ComputeOp, MemoryOp, WarpOp
+from repro.sim.engine import Simulator
+from repro.sim.resources import OccupancyLimiter
+from repro.sim.stats import StatGroup
+
+
+class _WarpState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"    # waiting on loads or a structural stall
+    SLEEPING = "sleeping"  # compute delay
+    DONE = "done"
+
+
+class _Warp:
+    __slots__ = ("warp_id", "ops", "state", "txns", "next_txn",
+                 "outstanding", "is_store_op", "is_atomic_op")
+
+    def __init__(self, warp_id: int, ops: Iterator[WarpOp]):
+        self.warp_id = warp_id
+        self.ops = ops
+        self.state = _WarpState.READY
+        self.txns: List[Tuple[int, int]] = []
+        self.next_txn = 0
+        self.outstanding = 0
+        self.is_store_op = False
+        self.is_atomic_op = False
+
+
+class StreamingMultiprocessor:
+    """One SM: warps, L1, store buffer, crossbar port."""
+
+    RETRY_CYCLES = 4
+
+    def __init__(self, sm_id: int, sim: Simulator, crossbar: Crossbar,
+                 slices: List, route: Callable[[int], int],
+                 l1_size: int = 32 * 1024, l1_ways: int = 4,
+                 line_bytes: int = 128, sector_bytes: int = 32,
+                 l1_latency: int = 28, l1_mshr_entries: int = 64,
+                 store_buffer: int = 64,
+                 stats: Optional[StatGroup] = None,
+                 scheduler: str = "rr"):
+        if scheduler not in ("rr", "gto"):
+            raise ValueError("scheduler must be 'rr' or 'gto'")
+        self.sm_id = sm_id
+        self.sim = sim
+        self.crossbar = crossbar
+        self.slices = slices
+        self.route = route
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.l1_latency = l1_latency
+
+        group = stats.child(f"sm{sm_id}") if stats is not None \
+            else StatGroup(f"sm{sm_id}")
+        self.stats = group
+        self.l1 = SectoredCache("l1", l1_size, l1_ways, line_bytes=line_bytes,
+                                sector_bytes=sector_bytes, stats=group)
+        self.l1_mshrs = MshrFile("l1mshr", l1_mshr_entries, max_merges=32,
+                                 stats=group)
+        self.store_credits = OccupancyLimiter("storebuf", store_buffer,
+                                              stats=group)
+        self._instructions = group.counter("instructions")
+        self._loads = group.counter("loads")
+        self._stores = group.counter("stores")
+        self._atomics = group.counter("atomics")
+        self._load_txns = group.counter("load_transactions")
+        self._store_txns = group.counter("store_transactions")
+        self._stall_retries = group.counter("stall_retries")
+
+        self._warps: List[_Warp] = []
+        self._ready: Deque[_Warp] = deque()
+        self._issue_scheduled = False
+        self._last_issue_time = -1
+        self._active_warps = 0
+        self.finish_time: Optional[int] = None
+        #: "rr" rotates over ready warps; "gto" (greedy-then-oldest)
+        #: keeps issuing the same warp until it stalls, then falls back
+        #: to the oldest ready warp — fewer live access streams at a
+        #: time, friendlier to DRAM row locality.
+        self.scheduler = scheduler
+        self._greedy_warp: Optional[_Warp] = None
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_warp(self, ops) -> None:
+        warp = _Warp(len(self._warps), iter(ops))
+        self._warps.append(warp)
+        self._active_warps += 1
+
+    def start(self) -> None:
+        """Launch all warps with a small deterministic stagger.
+
+        Perfectly lock-stepped warps form DRAM-bank convoys that make
+        results chaotically sensitive to a few cycles of protection
+        latency; real warps launch a few cycles apart, which
+        decorrelates them.
+        """
+        for warp in self._warps:
+            delay = (warp.warp_id * 11 + self.sm_id * 7) % 64
+            self.sim.schedule(delay, self._warp_ready, warp)
+
+    @property
+    def done(self) -> bool:
+        return self._active_warps == 0
+
+    # -- issue loop ---------------------------------------------------------------
+
+    def _wake_issue(self, delay: int = 0) -> None:
+        """Schedule the next issue slot, never exceeding 1 op/cycle —
+        a warp that re-readies in the same cycle (fire-and-forget
+        stores) must not let the SM issue twice in one cycle."""
+        if self._issue_scheduled or not self._ready:
+            return
+        when = max(self.sim.now + delay, self._last_issue_time + 1)
+        self._issue_scheduled = True
+        self.sim.schedule_at(when, self._issue)
+
+    def _issue(self) -> None:
+        self._issue_scheduled = False
+        if not self._ready:
+            return
+        self._last_issue_time = self.sim.now
+        warp = self._pick_warp()
+        self._dispatch(warp)
+        self._wake_issue()
+
+    def _pick_warp(self) -> _Warp:
+        if self.scheduler == "gto" and self._greedy_warp is not None:
+            greedy = self._greedy_warp
+            try:
+                self._ready.remove(greedy)
+            except ValueError:
+                pass  # greedy warp stalled/slept: fall through to oldest
+            else:
+                return greedy
+        warp = self._ready.popleft()
+        self._greedy_warp = warp
+        return warp
+
+    def _dispatch(self, warp: _Warp) -> None:
+        op = next(warp.ops, None)
+        if op is None:
+            warp.state = _WarpState.DONE
+            self._active_warps -= 1
+            if self._active_warps == 0:
+                self.finish_time = self.sim.now
+            return
+        self._instructions.add(1)
+        if isinstance(op, ComputeOp):
+            warp.state = _WarpState.SLEEPING
+            self.sim.schedule(op.cycles, self._warp_ready, warp)
+            return
+        assert isinstance(op, MemoryOp)
+        warp.txns = coalesce(op.addresses, self.line_bytes, self.sector_bytes)
+        warp.next_txn = 0
+        warp.outstanding = 0
+        warp.is_store_op = op.is_store
+        warp.is_atomic_op = op.is_atomic
+        if op.is_atomic:
+            self._atomics.add(1)
+        elif op.is_store:
+            self._stores.add(1)
+        else:
+            self._loads.add(1)
+        warp.state = _WarpState.BLOCKED
+        self._advance_mem_op(warp)
+
+    def _warp_ready(self, warp: _Warp) -> None:
+        warp.state = _WarpState.READY
+        self._ready.append(warp)
+        self._wake_issue()
+
+    # -- memory op progression ------------------------------------------------------
+
+    def _advance_mem_op(self, warp: _Warp) -> None:
+        """Issue remaining transactions; park on structural stalls."""
+        while warp.next_txn < len(warp.txns):
+            line_addr, mask = warp.txns[warp.next_txn]
+            if warp.is_atomic_op:
+                issued = self._issue_atomic_txn(line_addr, mask)
+            elif warp.is_store_op:
+                issued = self._issue_store_txn(line_addr, mask)
+            else:
+                issued = self._issue_load_txn(warp, line_addr, mask)
+            if not issued:
+                self._stall_retries.add(1)
+                self.sim.schedule(self.RETRY_CYCLES, self._advance_mem_op, warp)
+                return
+            warp.next_txn += 1
+        if warp.is_store_op or warp.outstanding == 0:
+            # Stores retire immediately; loads only if everything hit.
+            self._warp_ready(warp)
+
+    # -- loads ------------------------------------------------------------------------
+
+    def _issue_load_txn(self, warp: _Warp, line_addr: int, mask: int) -> bool:
+        hit_mask, _line = self.l1.lookup_mask(line_addr, mask,
+                                              require_verified=False)
+        miss_mask = mask & ~hit_mask
+        self._load_txns.add(1)
+        if not miss_mask:
+            warp.outstanding += 1
+            self.sim.schedule(self.l1_latency, self._load_credit, warp)
+            return True
+        existing = self.l1_mshrs.get(line_addr)
+        previously = existing.sector_mask if existing else 0
+        entry = self.l1_mshrs.allocate(line_addr, miss_mask,
+                                       waiter=lambda: self._load_credit(warp))
+        if entry is None:
+            self._load_txns.add(-1)
+            return False
+        warp.outstanding += 1
+        if entry.payload is None:
+            entry.payload = {"filled": 0}
+        new_sectors = miss_mask & ~previously
+        if new_sectors:
+            self._send_load(line_addr, new_sectors)
+        return True
+
+    def _send_load(self, line_addr: int, mask: int) -> None:
+        slice_id = self.route(line_addr)
+        slice_obj = self.slices[slice_id]
+        self.crossbar.send_request(
+            slice_id, 0,
+            lambda: slice_obj.receive_load(
+                line_addr, mask,
+                lambda granted: self._queue_response(slice_id, line_addr,
+                                                     granted)))
+
+    def _queue_response(self, slice_id: int, line_addr: int, mask: int) -> None:
+        sectors = bin(mask).count("1")
+        self.crossbar.send_response(
+            slice_id, sectors,
+            lambda: self._on_l2_response(line_addr, mask))
+
+    def _on_l2_response(self, line_addr: int, mask: int) -> None:
+        line, evicted = self.l1.allocate(line_addr)
+        # L1 is write-through: evictions are silent, nothing to do.
+        del evicted
+        new_mask = mask & ~line.valid_mask
+        sector = 0
+        m = new_mask
+        while m:
+            if m & 1:
+                self.l1.fill_sector(line, sector, dirty=False, verified=True)
+            m >>= 1
+            sector += 1
+        entry = self.l1_mshrs.get(line_addr)
+        if entry is None:
+            return
+        entry.payload["filled"] |= mask
+        if entry.sector_mask & ~entry.payload["filled"]:
+            return
+        for waiter in self.l1_mshrs.complete(line_addr):
+            waiter()
+
+    def _load_credit(self, warp: _Warp) -> None:
+        warp.outstanding -= 1
+        if (warp.outstanding == 0 and warp.next_txn >= len(warp.txns)
+                and warp.state is _WarpState.BLOCKED):
+            self._warp_ready(warp)
+
+    # -- stores ------------------------------------------------------------------------
+
+    def _issue_atomic_txn(self, line_addr: int, mask: int) -> bool:
+        """Atomics bypass the L1 (they execute at the L2's atomic unit)
+        and invalidate any stale L1 copy of the touched sectors."""
+        if not self.store_credits.try_acquire():
+            return False
+        self._store_txns.add(1)
+        line = self.l1.probe(line_addr)
+        if line is not None:
+            line.valid_mask &= ~mask  # L1 copy is now stale
+            line.verified_mask &= ~mask
+        slice_id = self.route(line_addr)
+        slice_obj = self.slices[slice_id]
+        self.crossbar.send_request(
+            slice_id, bin(mask).count("1"),
+            lambda: slice_obj.receive_atomic(
+                line_addr, mask, self.store_credits.release))
+        return True
+
+    def _issue_store_txn(self, line_addr: int, mask: int) -> bool:
+        if not self.store_credits.try_acquire():
+            return False
+        self._store_txns.add(1)
+        # Write-through, no-allocate: refresh L1 copy if present.
+        line = self.l1.probe(line_addr)
+        if line is not None and line.valid:
+            pass  # data updated in place; no state change needed
+        slice_id = self.route(line_addr)
+        slice_obj = self.slices[slice_id]
+        sectors = bin(mask).count("1")
+        self.crossbar.send_request(
+            slice_id, sectors,
+            lambda: slice_obj.receive_store(
+                line_addr, mask, self.store_credits.release))
+        return True

@@ -1,0 +1,108 @@
+"""Trace serialization.
+
+Workload traces are plain data, so they round-trip through a compact
+JSON-lines format: one line per warp, each op encoded positionally.
+This lets users capture a generated workload once and replay it (or
+hand the simulator traces produced by an external tool in the same
+format).
+
+Format (one JSON array per line = one warp):
+
+    [["c", cycles], ["m", [addr, ...], store?, atomic?], ...]
+
+Optional header line: ``{"repro-trace": 1, "workload": "...", ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Union
+
+from repro.gpu.trace import ComputeOp, MemoryOp, WarpOp
+
+FORMAT_VERSION = 1
+
+
+def _encode_op(op: WarpOp) -> list:
+    if isinstance(op, ComputeOp):
+        return ["c", op.cycles]
+    assert isinstance(op, MemoryOp)
+    entry: list = ["m", list(op.addresses)]
+    if op.is_store or op.is_atomic:
+        entry.append(bool(op.is_store))
+    if op.is_atomic:
+        entry.append(True)
+    return entry
+
+
+def _decode_op(entry: list) -> WarpOp:
+    if not isinstance(entry, list) or not entry:
+        raise ValueError(f"malformed op entry: {entry!r}")
+    kind = entry[0]
+    if kind == "c":
+        return ComputeOp(int(entry[1]))
+    if kind == "m":
+        addresses = tuple(int(a) for a in entry[1])
+        is_store = bool(entry[2]) if len(entry) > 2 else False
+        is_atomic = bool(entry[3]) if len(entry) > 3 else False
+        return MemoryOp(addresses, is_store=is_store, is_atomic=is_atomic)
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def dump_traces(traces: Iterable[Iterable[WarpOp]], fh: IO[str],
+                workload: Optional[str] = None) -> int:
+    """Write warp traces as JSON lines; returns the warp count.
+
+    ``traces`` is flat: one entry per warp (flatten the per-SM nesting
+    first if you have `Workload.build` output).
+    """
+    header = {"repro-trace": FORMAT_VERSION}
+    if workload:
+        header["workload"] = workload
+    fh.write(json.dumps(header) + "\n")
+    count = 0
+    for ops in traces:
+        fh.write(json.dumps([_encode_op(op) for op in ops],
+                            separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def load_traces(fh: IO[str]) -> List[List[WarpOp]]:
+    """Read JSON-lines traces (header line optional)."""
+    warps: List[List[WarpOp]] = []
+    for line_no, line in enumerate(fh, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if isinstance(payload, dict):
+            if line_no == 1 and payload.get("repro-trace") == FORMAT_VERSION:
+                continue
+            raise ValueError(f"line {line_no}: unexpected header {payload!r}")
+        if not isinstance(payload, list):
+            raise ValueError(f"line {line_no}: expected a JSON array")
+        warps.append([_decode_op(entry) for entry in payload])
+    return warps
+
+
+def flatten_machine_traces(traces) -> List[List[WarpOp]]:
+    """Flatten `Workload.build` output ([sm][warp] -> ops) into one
+    warp list, SM-major (matching round-robin redistribution)."""
+    return [ops for per_sm in traces for ops in per_sm]
+
+
+def distribute_traces(warps: List[List[WarpOp]], num_sms: int,
+                      warps_per_sm: int) -> List[List[List[WarpOp]]]:
+    """Pack a flat warp list back into [sm][warp] shape.
+
+    SM-major chunking — the exact inverse of
+    :func:`flatten_machine_traces`, so a dumped-and-replayed trace
+    lands on the same SMs and simulates identically.  Warps beyond
+    ``num_sms * warps_per_sm`` are dropped; a short list leaves later
+    SMs underfilled.
+    """
+    out: List[List[List[WarpOp]]] = [[] for _ in range(num_sms)]
+    for index, ops in enumerate(warps[: num_sms * warps_per_sm]):
+        out[index // warps_per_sm].append(ops)
+    return out

@@ -1,0 +1,49 @@
+"""Memory-protection schemes.
+
+Every scheme sits between the L2 slices and the memory channels and
+decides what DRAM traffic a sector fetch or a dirty eviction really
+costs under protection:
+
+* ``none`` — unprotected baseline (performance = 1.0 by definition);
+* ``sideband`` — ECC on dedicated devices: no extra traffic, only a
+  fixed check latency (the HBM-style upper bound);
+* ``inline-sector`` — per-sector code, metadata fetched from DRAM on
+  every miss (the naive inline-ECC floor);
+* ``metadata-cache`` — per-sector code plus a dedicated SRAM metadata
+  cache at each memory partition (the strong conventional baseline);
+* ``inline-full`` — per-granule code with full-granule fetch on every
+  miss (what "ECC mode" does to divergent workloads);
+* ``cachecraft`` — per-granule code with *reconstructed caching*:
+  granules are verified by reassembling resident verified sectors,
+  newly fetched sectors, and in-L2 cached metadata
+  (:mod:`repro.core.cachecraft`).
+
+Schemes are registered by name in :data:`SCHEME_REGISTRY` (CacheCraft
+registers itself from :mod:`repro.core.cachecraft` to keep the
+contribution in ``core``).
+"""
+
+from repro.protection.base import ProtectionContext, ProtectionScheme, SCHEME_REGISTRY, make_scheme
+from repro.protection.mdcache import DedicatedMetadataCache
+from repro.protection.schemes import (
+    InlineFullGranule,
+    InlineSectorCode,
+    MetadataCacheScheme,
+    NoProtection,
+    SectorMetadataInL2,
+    SidebandEcc,
+)
+
+__all__ = [
+    "ProtectionScheme",
+    "ProtectionContext",
+    "SCHEME_REGISTRY",
+    "make_scheme",
+    "NoProtection",
+    "SidebandEcc",
+    "InlineSectorCode",
+    "MetadataCacheScheme",
+    "SectorMetadataInL2",
+    "InlineFullGranule",
+    "DedicatedMetadataCache",
+]

@@ -1,0 +1,75 @@
+"""Dedicated SRAM metadata cache.
+
+The conventional fix for inline-ECC metadata traffic: a small cache of
+metadata atoms at each memory partition.  CacheCraft's counter-design
+caches metadata in the (much larger) L2 instead; experiment F6 sweeps
+this structure's size to find the crossover.
+
+The cache is write-back: metadata updates from writebacks dirty the
+cached atom, and dirty victims emit a METADATA_WRITE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.sectored import SectoredCache
+from repro.sim.stats import StatGroup
+
+
+class DedicatedMetadataCache:
+    """A per-partition cache of 32 B metadata atoms."""
+
+    def __init__(self, name: str, size_bytes: int, atom_bytes: int = 32,
+                 ways: int = 8, stats: Optional[StatGroup] = None):
+        if size_bytes < ways * atom_bytes:
+            raise ValueError("metadata cache smaller than one set")
+        self.atom_bytes = atom_bytes
+        self._cache = SectoredCache(
+            name, size_bytes, ways,
+            line_bytes=atom_bytes, sector_bytes=atom_bytes,
+            policy="lru", stats=stats,
+        )
+
+    @property
+    def stats(self) -> StatGroup:
+        return self._cache.stats
+
+    def lookup(self, atom_addr: int) -> bool:
+        """True on a *readable* hit (write-only entries do not count)."""
+        result, _line = self._cache.lookup(atom_addr, require_verified=True)
+        return result.name == "HIT"
+
+    def insert(self, atom_addr: int, *, dirty: bool = False,
+               verified: bool = True) -> Optional[int]:
+        """Install an atom; returns the address of a dirty victim atom
+        needing writeback, if any.
+
+        ``verified=False`` is a masked write-allocate: only this
+        granule's bytes are present, so reads must still miss until a
+        fetch-backed insert upgrades the entry.
+        """
+        line_addr = self._cache.line_addr_of(atom_addr)
+        line, evicted = self._cache.allocate(line_addr, is_metadata=True)
+        self._cache.fill_sector(line, 0, dirty=dirty, verified=verified)
+        if dirty:
+            line.dirty_mask |= 1
+        if verified:
+            line.verified_mask |= line.valid_mask
+        if evicted is not None and evicted.needs_writeback:
+            return evicted.line_addr * self.atom_bytes
+        return None
+
+    def mark_dirty(self, atom_addr: int) -> bool:
+        """Dirty an atom if present; returns hit."""
+        line = self._cache.probe(self._cache.line_addr_of(atom_addr))
+        if line is None or not line.valid:
+            return False
+        line.dirty_mask |= 1
+        return True
+
+    def flush_dirty(self) -> Tuple[int, ...]:
+        """Addresses of all dirty atoms (end-of-run drain accounting)."""
+        return tuple(
+            ev.line_addr * self.atom_bytes for ev in self._cache.flush()
+        )

@@ -1,0 +1,154 @@
+"""Statistics primitives.
+
+Every simulated component reports into a :class:`StatGroup`; groups
+nest into a :class:`StatsRegistry` owned by the top-level system so a
+whole run can be flattened into a ``{dotted.name: value}`` dict for the
+analysis layer and for test assertions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Union
+
+
+class Counter:
+    """A monotonically increasing integer statistic."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with mean/percentile summaries.
+
+    Buckets are ``[edges[i], edges[i+1])`` plus an overflow bucket.
+    """
+
+    def __init__(self, name: str, edges: List[int]):
+        if edges != sorted(edges) or len(edges) < 1:
+            raise ValueError("edges must be a sorted non-empty list")
+        self.name = name
+        self.edges = list(edges)
+        self.buckets = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float, weight: int = 1) -> None:
+        self.count += weight
+        self.total += value * weight
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        # Linear scan is fine: histograms have ~10 edges.
+        for i, edge in enumerate(self.edges):
+            if value < edge:
+                self.buckets[i] += weight
+                return
+        self.buckets[-1] += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile using bucket upper edges."""
+        if not self.count:
+            return 0.0
+        target = self.count * p
+        seen = 0
+        for i, b in enumerate(self.buckets):
+            seen += b
+            if seen >= target:
+                return float(self.edges[i]) if i < len(self.edges) else float("inf")
+        return float("inf")
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+Stat = Union[Counter, Histogram]
+
+
+class StatGroup:
+    """A named collection of statistics belonging to one component."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stats: Dict[str, Stat] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    def add(self, *stats: Stat) -> None:
+        for stat in stats:
+            if stat.name in self._stats:
+                raise ValueError(f"duplicate stat {stat.name!r} in group {self.name!r}")
+            self._stats[stat.name] = stat
+
+    def counter(self, name: str) -> Counter:
+        """Create-and-register a counter in one step."""
+        c = Counter(name)
+        self.add(c)
+        return c
+
+    def histogram(self, name: str, edges: List[int]) -> Histogram:
+        h = Histogram(name, edges)
+        self.add(h)
+        return h
+
+    def child(self, name: str) -> "StatGroup":
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def get(self, name: str) -> Stat:
+        return self._stats[name]
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten into ``{dotted.path: numeric value}``.
+
+        Histograms contribute ``.count`` and ``.mean`` entries.
+        """
+        base = f"{prefix}{self.name}." if self.name else prefix
+        out: Dict[str, float] = {}
+        for stat in self._stats.values():
+            if isinstance(stat, Counter):
+                out[f"{base}{stat.name}"] = stat.value
+            else:
+                out[f"{base}{stat.name}.count"] = stat.count
+                out[f"{base}{stat.name}.mean"] = stat.mean
+        for childgroup in self._children.values():
+            out.update(childgroup.flatten(base))
+        return out
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()
+        for childgroup in self._children.values():
+            childgroup.reset()
+
+    def __iter__(self) -> Iterator[Stat]:
+        return iter(self._stats.values())
+
+
+class StatsRegistry(StatGroup):
+    """The root statistics group for a whole simulated system."""
+
+    def __init__(self) -> None:
+        super().__init__("")

@@ -1,0 +1,52 @@
+"""Workload (trace) generators.
+
+The reproduction has no access to proprietary GPU traces, so each
+generator synthesizes the *memory-access structure* of a canonical GPU
+kernel archetype: footprint, spatial density per protection granule,
+temporal reuse, read/write mix, and coalescing behaviour — the
+properties protection overheads are a function of.
+
+Fourteen named workloads (``WORKLOADS``) cover the archetypes a MICRO
+evaluation would draw from Rodinia/Parboil-class suites, plus the
+parametric :class:`~repro.workloads.synthetic.DivergenceSweep` used by
+experiment F8.
+"""
+
+from repro.workloads.base import GenContext, Workload, WORKLOAD_REGISTRY, make_workload
+from repro.workloads.blocked import Conv2d, GemmTile, Stencil2d, Stencil3d, Transpose
+from repro.workloads.irregular import Bfs, Histogram, PointerChase, RadixSortPass, SpmvCsr
+from repro.workloads.mixes import ComputeScatterMix, ConcurrentMix, StreamGatherMix, make_mix
+from repro.workloads.scientific import Fft, KMeans, NBody
+from repro.workloads.streaming import Reduction, Saxpy, Scan, VecAdd
+from repro.workloads.synthetic import DivergenceSweep, UniformRandom
+
+#: The evaluation suite, in presentation order (streaming -> irregular).
+WORKLOADS = (
+    "vecadd", "saxpy", "scan", "reduction",
+    "gemm", "conv2d", "stencil2d", "stencil3d", "transpose",
+    "histogram", "radix", "spmv", "bfs", "pchase",
+)
+
+#: Four-workload subset used by the sensitivity sweeps (F4-F6, F9).
+REPRESENTATIVE_WORKLOADS = ("vecadd", "gemm", "spmv", "pchase")
+
+#: Registered extras outside the default evaluation suite.
+EXTRA_WORKLOADS = ("fft", "nbody", "kmeans", "atomic-hist",
+                   "mix-stream-gather", "mix-compute-scatter",
+                   "divergence", "uniform-random")
+
+__all__ = [
+    "Workload",
+    "GenContext",
+    "WORKLOAD_REGISTRY",
+    "WORKLOADS",
+    "REPRESENTATIVE_WORKLOADS",
+    "make_workload",
+    "VecAdd", "Saxpy", "Scan", "Reduction",
+    "GemmTile", "Conv2d", "Stencil2d", "Stencil3d", "Transpose",
+    "Histogram", "RadixSortPass", "SpmvCsr", "Bfs", "PointerChase",
+    "Fft", "NBody", "KMeans",
+    "ConcurrentMix", "StreamGatherMix", "ComputeScatterMix", "make_mix",
+    "DivergenceSweep", "UniformRandom",
+    "EXTRA_WORKLOADS",
+]

@@ -1,0 +1,129 @@
+"""Workload base classes and helpers."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Type
+
+from repro.gpu.trace import ComputeOp, MemoryOp, WarpOp
+
+#: Heap base for workload arrays (granule/line/chunk aligned).
+HEAP_BASE = 1 << 20
+
+
+@dataclass
+class GenContext:
+    """Machine shape and sizing knobs handed to every generator."""
+
+    num_sms: int = 8
+    warps_per_sm: int = 12
+    lanes: int = 32
+    elem_bytes: int = 4
+    seed: int = 42
+    #: Global size multiplier: tests run ~0.25, benches 1.0.
+    scale: float = 1.0
+    line_bytes: int = 128
+    sector_bytes: int = 32
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_sms * self.warps_per_sm
+
+    def warp_rng(self, workload: str, sm_id: int, warp_id: int) -> random.Random:
+        return random.Random(f"{self.seed}/{workload}/{sm_id}/{warp_id}")
+
+    def scaled(self, n: int, minimum: int = 1) -> int:
+        return max(minimum, int(n * self.scale))
+
+    def scaled_dim(self, n: int, minimum: int = 1) -> int:
+        """Scale a 2D/3D *dimension*: area/volume then scales ~linearly
+        with ``scale`` instead of quadratically/cubically."""
+        return max(minimum, int(n * self.scale ** 0.5))
+
+
+class Workload(abc.ABC):
+    """A named trace generator."""
+
+    #: Registry key.
+    name: str = ""
+    #: Archetype label used in the characterization table (T2).
+    category: str = ""
+
+    def __init__(self, **params) -> None:
+        self.params = params
+
+    @abc.abstractmethod
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        """The full op list for one warp."""
+
+    def build(self, ctx: GenContext) -> List[List[List[WarpOp]]]:
+        """Traces for the whole machine: ``[sm][warp] -> ops``."""
+        return [
+            [self.warp_trace(sm, warp, ctx) for warp in range(ctx.warps_per_sm)]
+            for sm in range(ctx.num_sms)
+        ]
+
+    # -- shared generator helpers ------------------------------------------------
+
+    @staticmethod
+    def coalesced(base: int, first_elem: int, lanes: int,
+                  elem_bytes: int, is_store: bool = False) -> MemoryOp:
+        """All lanes access consecutive elements — the coalesced ideal."""
+        return MemoryOp(
+            tuple(base + (first_elem + lane) * elem_bytes for lane in range(lanes)),
+            is_store=is_store,
+        )
+
+    @staticmethod
+    def gathered(base: int, indices, elem_bytes: int,
+                 is_store: bool = False) -> MemoryOp:
+        """Lane *l* accesses element ``indices[l]`` — arbitrary scatter."""
+        return MemoryOp(
+            tuple(base + int(i) * elem_bytes for i in indices), is_store=is_store
+        )
+
+    @staticmethod
+    def compute(cycles: int) -> ComputeOp:
+        return ComputeOp(max(1, cycles))
+
+    def global_warp_id(self, sm_id: int, warp_id: int, ctx: GenContext) -> int:
+        return sm_id * ctx.warps_per_sm + warp_id
+
+
+#: name -> workload class.
+WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register_workload(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} has no name")
+    if cls.name in WORKLOAD_REGISTRY:
+        raise ValueError(f"duplicate workload {cls.name!r}")
+    WORKLOAD_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_workload(name: str, **params) -> Workload:
+    """Instantiate a registered workload by name."""
+    try:
+        cls = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOAD_REGISTRY)}"
+        ) from None
+    return cls(**params)
+
+
+def array_layout(sizes_bytes: List[int], align: int = 4096,
+                 base: int = HEAP_BASE) -> List[int]:
+    """Lay out arrays back-to-back with alignment; returns base addresses."""
+    bases = []
+    addr = base
+    for size in sizes_bytes:
+        addr = (addr + align - 1) // align * align
+        bases.append(addr)
+        addr += size
+    return bases

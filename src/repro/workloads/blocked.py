@@ -1,0 +1,184 @@
+"""Blocked / tiled workloads: structured reuse, mostly coalesced.
+
+These kernels hit well in L2, so their protection cost is dominated by
+the *miss path amplification* on the cold tile fetches plus metadata
+pressure competing for cache capacity — the regime where CacheCraft's
+in-L2 metadata must prove it does not hurt.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.trace import WarpOp
+from repro.workloads.base import GenContext, Workload, array_layout, register_workload
+
+
+@register_workload
+class GemmTile(Workload):
+    """Tiled dense matrix multiply.
+
+    Each warp computes a C tile: it streams A-row tiles while the
+    shared B tiles are re-read by many warps (high L2 temporal reuse).
+    """
+
+    name = "gemm"
+    category = "blocked"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        n = ctx.scaled_dim(self.params.get("matrix_dim", 1024), minimum=128)
+        tile = self.params.get("tile", 32)
+        k_tiles = max(2, n // tile // 2)
+        a, b, c = array_layout([n * n * ctx.elem_bytes] * 3)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        tiles_per_row = max(1, n // tile)
+        tile_row = (gw // tiles_per_row) % tiles_per_row
+        tile_col = gw % tiles_per_row
+        ops: List[WarpOp] = []
+        for kt in range(k_tiles):
+            # A tile rows: warp-private, streaming.
+            for r in range(0, tile, 8):
+                row = (tile_row * tile + r) % n
+                first = row * n + kt * tile
+                ops.append(self.coalesced(a, first % (n * n - ctx.lanes),
+                                          ctx.lanes, ctx.elem_bytes))
+            # B tile rows: shared across all warps computing this column.
+            for r in range(0, tile, 8):
+                row = (kt * tile + r) % n
+                first = row * n + tile_col * tile
+                ops.append(self.coalesced(b, first % (n * n - ctx.lanes),
+                                          ctx.lanes, ctx.elem_bytes))
+            # The MACs on a 32x32x32 tile product: ~1024 FMA issues per
+            # warp, partly overlapped; model ~300 cycles of compute.
+            ops.append(self.compute(300))
+        # C tile writeout.
+        for r in range(0, tile, 8):
+            row = (tile_row * tile + r) % n
+            first = row * n + tile_col * tile
+            ops.append(self.coalesced(c, first % (n * n - ctx.lanes),
+                                      ctx.lanes, ctx.elem_bytes, is_store=True))
+        return ops
+
+
+@register_workload
+class Conv2d(Workload):
+    """2D convolution: sliding-window input reuse, L1-resident weights,
+    coalesced output stores."""
+
+    name = "conv2d"
+    category = "blocked"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        width = ctx.scaled_dim(self.params.get("width", 1024), minimum=256)
+        height = ctx.scaled_dim(self.params.get("height", 512), minimum=64)
+        ksize = self.params.get("kernel", 3)
+        rows_per_warp = ctx.scaled(self.params.get("rows_per_warp", 10), minimum=2)
+        img, weights, out = array_layout([
+            width * height * ctx.elem_bytes,
+            ksize * ksize * ctx.elem_bytes,
+            width * height * ctx.elem_bytes,
+        ])
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        ops: List[WarpOp] = []
+        for r in range(rows_per_warp):
+            row = (gw * rows_per_warp + r) % (height - ksize)
+            for col0 in range(0, width - ctx.lanes, width // 4):
+                for ky in range(ksize):
+                    first = (row + ky) * width + col0
+                    ops.append(self.coalesced(img, first, ctx.lanes,
+                                              ctx.elem_bytes))
+                ops.append(self.coalesced(weights, 0,
+                                          min(ctx.lanes, ksize * ksize),
+                                          ctx.elem_bytes))
+                ops.append(self.compute(ksize * ksize * 2))
+                ops.append(self.coalesced(out, row * width + col0, ctx.lanes,
+                                          ctx.elem_bytes, is_store=True))
+        return ops
+
+
+@register_workload
+class Stencil2d(Workload):
+    """5-point 2D stencil: each output row re-reads three input rows
+    that neighbouring warps also read — strong L2 spatial reuse."""
+
+    name = "stencil2d"
+    category = "blocked"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        width = ctx.scaled_dim(self.params.get("width", 2048), minimum=256)
+        height = ctx.scaled_dim(self.params.get("height", 512), minimum=64)
+        rows_per_warp = ctx.scaled(self.params.get("rows_per_warp", 12), minimum=2)
+        grid_in, grid_out = array_layout([width * height * ctx.elem_bytes] * 2)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        ops: List[WarpOp] = []
+        for r in range(rows_per_warp):
+            row = (gw + r * ctx.total_warps) % (height - 2) + 1
+            for col0 in range(0, width - ctx.lanes, width // 3):
+                for dy in (-1, 0, 1):
+                    first = (row + dy) * width + col0
+                    ops.append(self.coalesced(grid_in, first, ctx.lanes,
+                                              ctx.elem_bytes))
+                ops.append(self.compute(8))
+                ops.append(self.coalesced(grid_out, row * width + col0,
+                                          ctx.lanes, ctx.elem_bytes,
+                                          is_store=True))
+        return ops
+
+
+@register_workload
+class Stencil3d(Workload):
+    """7-point 3D stencil: plane-sized reuse distance that overflows
+    the L2 — reuse exists but capacity misses dominate."""
+
+    name = "stencil3d"
+    category = "blocked"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        dim = ctx.scaled_dim(self.params.get("dim", 200), minimum=48)
+        points_per_warp = ctx.scaled(self.params.get("points_per_warp", 24),
+                                     minimum=4)
+        plane = dim * dim
+        vol_in, vol_out = array_layout([dim * plane * ctx.elem_bytes] * 2)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        ops: List[WarpOp] = []
+        for p in range(points_per_warp):
+            z = (gw + p * ctx.total_warps) % (dim - 2) + 1
+            y = (gw * 7 + p * 3) % (dim - 2) + 1
+            x0 = (p * ctx.lanes) % max(1, dim - ctx.lanes)
+            center = z * plane + y * dim + x0
+            for off in (center - plane, center - dim, center,
+                        center + dim, center + plane):
+                ops.append(self.coalesced(vol_in, max(0, off), ctx.lanes,
+                                          ctx.elem_bytes))
+            ops.append(self.compute(10))
+            ops.append(self.coalesced(vol_out, center, ctx.lanes,
+                                      ctx.elem_bytes, is_store=True))
+        return ops
+
+
+@register_workload
+class Transpose(Workload):
+    """Matrix transpose: coalesced reads, line-strided writes — every
+    store touches one sector of 32 different lines, the classic
+    write-divergence stressor for granule-code writebacks."""
+
+    name = "transpose"
+    category = "blocked"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        n = ctx.scaled_dim(self.params.get("matrix_dim", 1400), minimum=256)
+        rows_per_warp = ctx.scaled(self.params.get("rows_per_warp", 8), minimum=2)
+        src, dst = array_layout([n * n * ctx.elem_bytes] * 2)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        ops: List[WarpOp] = []
+        for r in range(rows_per_warp):
+            row = (gw + r * ctx.total_warps) % n
+            for col0 in range(0, n - ctx.lanes, n // 2):
+                ops.append(self.coalesced(src, row * n + col0, ctx.lanes,
+                                          ctx.elem_bytes))
+                ops.append(self.compute(2))
+                # dst[col][row]: lane l writes element (col0+l)*n + row.
+                ops.append(self.gathered(
+                    dst, [(col0 + lane) * n + row for lane in range(ctx.lanes)],
+                    ctx.elem_bytes, is_store=True))
+        return ops

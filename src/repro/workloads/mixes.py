@@ -1,0 +1,85 @@
+"""Concurrent-kernel mixes.
+
+GPUs co-schedule kernels; a streaming kernel and a divergent kernel
+sharing the L2 is the stress case for metadata-in-L2 designs (the
+stream evicts the divergent kernel's metadata and directory-warming
+granules).  :class:`ConcurrentMix` splits the machine's warps between
+two member workloads so both run simultaneously on one system.
+
+Registered as ``mix:<a>+<b>`` is not a thing — instantiate directly or
+use :func:`make_mix`; the common pairs are pre-registered as
+``mix-stream-gather`` and ``mix-compute-scatter``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.trace import WarpOp
+from repro.workloads.base import GenContext, Workload, register_workload
+from repro.workloads.irregular import Histogram, SpmvCsr
+from repro.workloads.blocked import GemmTile
+from repro.workloads.streaming import VecAdd
+
+
+class ConcurrentMix(Workload):
+    """Two workloads sharing the machine, split by warp parity.
+
+    Even global warp ids run ``first``, odd run ``second``.  Each
+    member sees a GenContext with half the warps so its footprint and
+    per-warp work match a half-machine launch of itself.
+    """
+
+    name = "mix"
+    category = "mix"
+
+    def __init__(self, first: Workload = None, second: Workload = None,
+                 **params):
+        super().__init__(**params)
+        self.first = first if first is not None else VecAdd()
+        self.second = second if second is not None else SpmvCsr()
+        self.category = f"mix({self.first.name}+{self.second.name})"
+
+    def _member_ctx(self, ctx: GenContext) -> GenContext:
+        half_warps = max(1, ctx.warps_per_sm // 2)
+        return GenContext(
+            num_sms=ctx.num_sms, warps_per_sm=half_warps,
+            lanes=ctx.lanes, elem_bytes=ctx.elem_bytes, seed=ctx.seed,
+            scale=ctx.scale, line_bytes=ctx.line_bytes,
+            sector_bytes=ctx.sector_bytes)
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        member_ctx = self._member_ctx(ctx)
+        member_warp = warp_id // 2
+        member_warp = min(member_warp, member_ctx.warps_per_sm - 1)
+        if warp_id % 2 == 0:
+            return self.first.warp_trace(sm_id, member_warp, member_ctx)
+        return self.second.warp_trace(sm_id, member_warp, member_ctx)
+
+
+@register_workload
+class StreamGatherMix(ConcurrentMix):
+    """Streaming vecadd co-running with divergent spmv — the stream
+    pressures exactly the L2 capacity the gather's metadata and
+    directory-backing residency need."""
+
+    name = "mix-stream-gather"
+
+    def __init__(self, **params):
+        super().__init__(first=VecAdd(), second=SpmvCsr(), **params)
+
+
+@register_workload
+class ComputeScatterMix(ConcurrentMix):
+    """Compute-heavy gemm co-running with histogram's random RMW —
+    light bandwidth from one side, hot scatter from the other."""
+
+    name = "mix-compute-scatter"
+
+    def __init__(self, **params):
+        super().__init__(first=GemmTile(), second=Histogram(), **params)
+
+
+def make_mix(first: Workload, second: Workload) -> ConcurrentMix:
+    """Build an ad-hoc concurrent mix of two workload instances."""
+    return ConcurrentMix(first=first, second=second)

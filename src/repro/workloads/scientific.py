@@ -1,0 +1,140 @@
+"""Scientific-kernel workloads beyond the core suite.
+
+These three archetypes fill gaps the core fourteen leave open:
+
+* :class:`Fft` — butterfly passes whose stride *doubles* each stage,
+  sweeping from perfectly coalesced to line-strided within one kernel;
+* :class:`NBody` — all-pairs interactions: a broadcast-heavy read
+  pattern where every warp re-reads the same body array (extreme L2
+  temporal reuse, negligible writes);
+* :class:`KMeans` — assignment step: streaming point reads, hot
+  centroid re-reads, scattered per-cluster accumulator updates (a
+  mixed-intensity RMW pattern between histogram and gemm).
+
+They are registered but not part of the default 14-workload evaluation
+suite (``WORKLOADS``); use them by name with ``make_workload``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.trace import WarpOp
+from repro.workloads.base import GenContext, Workload, array_layout, register_workload
+
+
+@register_workload
+class Fft(Workload):
+    """Radix-2 butterfly passes over a complex array.
+
+    Stage *s* pairs elements ``stride = 2^s`` apart: early stages are
+    fully coalesced, late stages touch two lines per warp and then two
+    sectors per granule — a built-in divergence sweep.
+    """
+
+    name = "fft"
+    category = "scientific"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        n = ctx.scaled(self.params.get("elements", 1 << 20), minimum=1 << 12)
+        n = 1 << (n.bit_length() - 1)  # round down to a power of two
+        stages = min(self.params.get("stages", 8), n.bit_length() - 6)
+        butterflies = ctx.scaled(self.params.get("butterflies_per_warp", 40),
+                                 minimum=4)
+        elem = 2 * ctx.elem_bytes  # complex: re + im
+        (data,) = array_layout([n * elem])
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        ops: List[WarpOp] = []
+        for stage in range(stages):
+            stride = 1 << stage
+            for b in range(butterflies // stages + 1):
+                # Lanes take consecutive butterflies of this stage.
+                base_idx = (gw * ctx.lanes + b * ctx.total_warps * ctx.lanes)
+                tops = []
+                bottoms = []
+                for lane in range(ctx.lanes):
+                    i = base_idx + lane
+                    group = (i // stride) * (2 * stride)
+                    top = (group + i % stride) % (n - stride)
+                    tops.append(top)
+                    bottoms.append(top + stride)
+                ops.append(self.gathered(data, tops, elem))
+                ops.append(self.gathered(data, bottoms, elem))
+                ops.append(self.compute(10))  # twiddle multiply
+                ops.append(self.gathered(data, tops, elem, is_store=True))
+                ops.append(self.gathered(data, bottoms, elem, is_store=True))
+        return ops
+
+
+@register_workload
+class NBody(Workload):
+    """All-pairs N-body force step: every warp streams the whole body
+    array per outer element — broadcast reuse that should live
+    entirely in the L2, making protection nearly free."""
+
+    name = "nbody"
+    category = "scientific"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        bodies = ctx.scaled(self.params.get("bodies", 16384), minimum=1024)
+        tiles = ctx.scaled(self.params.get("tiles_per_warp", 30), minimum=4)
+        body_bytes = self.params.get("body_bytes", 16)  # x,y,z,m
+        positions, forces = array_layout([bodies * body_bytes,
+                                          bodies * body_bytes])
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        stride = body_bytes // ctx.elem_bytes
+        ops: List[WarpOp] = []
+        for tile in range(tiles):
+            # Every warp walks the same tile sequence: broadcast reuse.
+            first_body = (tile * ctx.lanes) % (bodies - ctx.lanes)
+            ops.append(self.gathered(
+                positions,
+                [(first_body + lane) * stride for lane in range(ctx.lanes)],
+                ctx.elem_bytes))
+            ops.append(self.compute(40))  # the pairwise interactions
+        my_body = (gw * ctx.lanes) % (bodies - ctx.lanes)
+        ops.append(self.gathered(
+            forces, [(my_body + lane) * stride for lane in range(ctx.lanes)],
+            ctx.elem_bytes, is_store=True))
+        return ops
+
+
+@register_workload
+class KMeans(Workload):
+    """k-means assignment: stream points, re-read the (hot) centroid
+    table per point, scatter accumulator updates per assigned cluster."""
+
+    name = "kmeans"
+    category = "scientific"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        points = ctx.scaled(self.params.get("points", 1_000_000))
+        clusters = self.params.get("clusters", 64)
+        dims = self.params.get("dims", 4)
+        iters = ctx.scaled(self.params.get("points_per_warp", 40), minimum=4)
+        data, centroids, accum = array_layout([
+            points * dims * ctx.elem_bytes,
+            clusters * dims * ctx.elem_bytes,
+            clusters * dims * ctx.elem_bytes,
+        ])
+        rng = ctx.warp_rng(self.name, sm_id, warp_id)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        stride = ctx.total_warps * ctx.lanes
+        ops: List[WarpOp] = []
+        for it in range(iters):
+            first = (gw * ctx.lanes + it * stride) * dims \
+                % (points * dims - ctx.lanes)
+            ops.append(self.coalesced(data, first, ctx.lanes, ctx.elem_bytes))
+            # Distance to every centroid: the table is hot and tiny.
+            for c in range(0, clusters, clusters // 4):
+                ops.append(self.coalesced(
+                    centroids, c * dims,
+                    min(ctx.lanes, (clusters - c) * dims), ctx.elem_bytes))
+                ops.append(self.compute(dims * 3))
+            # Scatter: each lane updates its winning cluster's accumulator.
+            winners = [rng.randrange(clusters) * dims
+                       for _ in range(ctx.lanes)]
+            ops.append(self.gathered(accum, winners, ctx.elem_bytes))
+            ops.append(self.gathered(accum, winners, ctx.elem_bytes,
+                                     is_store=True))
+        return ops

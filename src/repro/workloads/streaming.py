@@ -1,0 +1,124 @@
+"""Streaming workloads: coalesced, low-reuse, bandwidth-bound.
+
+These are the kernels "ECC mode" barely hurts for reads (full lines are
+touched anyway) but whose write streams expose the metadata
+read-modify-write cost of inline protection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.trace import WarpOp
+from repro.workloads.base import GenContext, Workload, array_layout, register_workload
+
+
+@register_workload
+class VecAdd(Workload):
+    """``C[i] = A[i] + B[i]`` — the canonical streaming kernel.
+
+    Two coalesced loads and one coalesced store per element chunk, a
+    footprint far beyond L2, and no reuse at all.
+    """
+
+    name = "vecadd"
+    category = "streaming"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        elems = ctx.scaled(self.params.get("elements", 3_000_000))
+        iters = ctx.scaled(self.params.get("iters_per_warp", 360), minimum=8)
+        a, b, c = array_layout([elems * ctx.elem_bytes] * 3)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        stride = ctx.total_warps * ctx.lanes
+        ops: List[WarpOp] = []
+        for it in range(iters):
+            first = (gw * ctx.lanes + it * stride) % (elems - ctx.lanes)
+            ops.append(self.coalesced(a, first, ctx.lanes, ctx.elem_bytes))
+            ops.append(self.coalesced(b, first, ctx.lanes, ctx.elem_bytes))
+            ops.append(self.compute(4))
+            ops.append(self.coalesced(c, first, ctx.lanes, ctx.elem_bytes,
+                                      is_store=True))
+        return ops
+
+
+@register_workload
+class Saxpy(Workload):
+    """``Y[i] = a*X[i] + Y[i]`` — streaming with a read-modify-write
+    array, doubling the store-side protection pressure of vecadd."""
+
+    name = "saxpy"
+    category = "streaming"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        elems = ctx.scaled(self.params.get("elements", 3_000_000))
+        iters = ctx.scaled(self.params.get("iters_per_warp", 360), minimum=8)
+        x, y = array_layout([elems * ctx.elem_bytes] * 2)
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        stride = ctx.total_warps * ctx.lanes
+        ops: List[WarpOp] = []
+        for it in range(iters):
+            first = (gw * ctx.lanes + it * stride) % (elems - ctx.lanes)
+            ops.append(self.coalesced(x, first, ctx.lanes, ctx.elem_bytes))
+            ops.append(self.coalesced(y, first, ctx.lanes, ctx.elem_bytes))
+            ops.append(self.compute(4))
+            ops.append(self.coalesced(y, first, ctx.lanes, ctx.elem_bytes,
+                                      is_store=True))
+        return ops
+
+
+@register_workload
+class Scan(Workload):
+    """Multi-pass prefix sum: streaming read+write passes over the same
+    array, with pass-to-pass reuse that only a large L2 can catch."""
+
+    name = "scan"
+    category = "streaming"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        elems = ctx.scaled(self.params.get("elements", 700_000))
+        passes = self.params.get("passes", 3)
+        iters = ctx.scaled(self.params.get("iters_per_warp", 150), minimum=4)
+        (data,) = array_layout([elems * ctx.elem_bytes])
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        stride = ctx.total_warps * ctx.lanes
+        ops: List[WarpOp] = []
+        for p in range(passes):
+            for it in range(iters):
+                first = (gw * ctx.lanes + it * stride) % (elems - ctx.lanes)
+                ops.append(self.coalesced(data, first, ctx.lanes, ctx.elem_bytes))
+                ops.append(self.compute(6))
+                ops.append(self.coalesced(data, first, ctx.lanes,
+                                          ctx.elem_bytes, is_store=True))
+        return ops
+
+
+@register_workload
+class Reduction(Workload):
+    """Tree reduction: a streaming read phase, then log-depth passes
+    over a shrinking partial-sum array that becomes cache-resident."""
+
+    name = "reduction"
+    category = "streaming"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        elems = ctx.scaled(self.params.get("elements", 2_000_000))
+        iters = ctx.scaled(self.params.get("iters_per_warp", 280), minimum=8)
+        data, partial = array_layout(
+            [elems * ctx.elem_bytes, ctx.total_warps * ctx.lanes * ctx.elem_bytes])
+        gw = self.global_warp_id(sm_id, warp_id, ctx)
+        stride = ctx.total_warps * ctx.lanes
+        ops: List[WarpOp] = []
+        for it in range(iters):
+            first = (gw * ctx.lanes + it * stride) % (elems - ctx.lanes)
+            ops.append(self.coalesced(data, first, ctx.lanes, ctx.elem_bytes))
+            ops.append(self.compute(3))
+        # Partial-sum tree: repeated read/write over a small shared array.
+        size = ctx.total_warps * ctx.lanes
+        while size > ctx.lanes:
+            first = (gw * ctx.lanes) % max(ctx.lanes, size - ctx.lanes)
+            ops.append(self.coalesced(partial, first, ctx.lanes, ctx.elem_bytes))
+            ops.append(self.compute(3))
+            ops.append(self.coalesced(partial, first // 2, ctx.lanes,
+                                      ctx.elem_bytes, is_store=True))
+            size //= 2
+        return ops

@@ -1,0 +1,91 @@
+"""Parametric synthetic workloads for controlled sweeps.
+
+:class:`DivergenceSweep` dials the exact quantity experiment F8 plots
+against: *sectors touched per protection granule*.  At density 1.0 it
+behaves like a streaming kernel (every sector of every granule is
+demanded); at 1/granule-sectors it is a pure pointer-chase (one sector
+per granule) — the axis along which full-granule fetch decays from free
+to 4-16x overfetch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpu.trace import WarpOp
+from repro.workloads.base import GenContext, Workload, array_layout, register_workload
+
+
+@register_workload
+class DivergenceSweep(Workload):
+    """Loads with a controlled sectors-per-granule density.
+
+    Parameters
+    ----------
+    density:
+        Fraction of each granule's sectors a warp touches (0 < d <= 1).
+    granule_bytes:
+        The granule size the density is defined against (must match the
+        scheme under test for the sweep to mean what it says).
+    """
+
+    name = "divergence"
+    category = "synthetic"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        density = float(self.params.get("density", 1.0))
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        granule_bytes = int(self.params.get("granule_bytes", 128))
+        footprint = ctx.scaled(self.params.get("footprint_bytes", 48 << 20),
+                               minimum=1 << 20)
+        iters = ctx.scaled(self.params.get("iters_per_warp", 60), minimum=8)
+        (heap,) = array_layout([footprint])
+        rng = ctx.warp_rng(self.name, sm_id, warp_id)
+        sectors_per_granule = max(1, granule_bytes // ctx.sector_bytes)
+        touched = max(1, round(density * sectors_per_granule))
+        n_granules = footprint // granule_bytes
+        ops: List[WarpOp] = []
+        for _ in range(iters):
+            addrs = []
+            while len(addrs) < ctx.lanes:
+                granule = rng.randrange(n_granules)
+                base = granule * granule_bytes
+                sectors = rng.sample(range(sectors_per_granule), touched)
+                for s in sectors:
+                    if len(addrs) < ctx.lanes:
+                        addrs.append(heap + base + s * ctx.sector_bytes)
+            ops.append(_raw_op(tuple(addrs)))
+            ops.append(self.compute(4))
+        return ops
+
+
+@register_workload
+class UniformRandom(Workload):
+    """Uniformly random single-sector loads over a parametric footprint
+    — the simplest cache-unfriendly reference stream."""
+
+    name = "uniform-random"
+    category = "synthetic"
+
+    def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
+        footprint = ctx.scaled(self.params.get("footprint_bytes", 32 << 20),
+                               minimum=1 << 20)
+        iters = ctx.scaled(self.params.get("iters_per_warp", 50), minimum=8)
+        write_fraction = float(self.params.get("write_fraction", 0.0))
+        (heap,) = array_layout([footprint])
+        rng = ctx.warp_rng(self.name, sm_id, warp_id)
+        n_sectors = footprint // ctx.sector_bytes
+        ops: List[WarpOp] = []
+        for _ in range(iters):
+            addrs = tuple(heap + rng.randrange(n_sectors) * ctx.sector_bytes
+                          for _ in range(ctx.lanes))
+            ops.append(_raw_op(addrs, is_store=rng.random() < write_fraction))
+            ops.append(self.compute(4))
+        return ops
+
+
+def _raw_op(addresses, is_store: bool = False):
+    from repro.gpu.trace import MemoryOp
+
+    return MemoryOp(addresses, is_store=is_store)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.config import SystemConfig, test_config
+from repro.workloads.base import GenContext
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 2-SM, 256 KiB-L2 machine that simulates in well under a second."""
+    return test_config()
+
+
+@pytest.fixture
+def small_gen() -> GenContext:
+    """Trace sizing matched to small_config."""
+    return GenContext(num_sms=2, warps_per_sm=4, scale=0.08, seed=7)
+
+
+@pytest.fixture
+def tiny_gen() -> GenContext:
+    """The smallest useful trace sizing (for per-scheme sweeps)."""
+    return GenContext(num_sms=2, warps_per_sm=2, scale=0.04, seed=7)

@@ -1,0 +1,148 @@
+"""Unit tests for the analysis layer: tables, harness, energy, experiments."""
+
+import pytest
+
+from repro.analysis.energy import energy_breakdown, relative_energy, total_energy
+from repro.analysis.experiments import (
+    t1_configuration,
+    t3_overheads,
+    t5_reliability,
+)
+from repro.analysis.harness import (
+    ExperimentHarness,
+    bench_config,
+    bench_gen_ctx,
+    compare_schemes,
+    geomean,
+)
+from repro.analysis.tables import format_bar, format_series, format_table
+from repro.core.config import test_config as make_test_config
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long-header"], [[1, 2.5], [300, None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "2.500" in text
+        assert "-" in lines[-1]  # None renders as '-'
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], [("a", [0.5, 0.6]),
+                                           ("b", [0.7, 0.8])])
+        assert "0.500" in text and "0.800" in text
+
+    def test_format_series_ragged(self):
+        text = format_series("x", [1, 2, 3], [("a", [0.5])])
+        assert text.count("-") > 0
+
+    def test_format_bar(self):
+        assert format_bar(0.5, scale=10) == "#####"
+        assert format_bar(2.0, scale=10, maximum=1.0) == "#" * 10
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0, 2, 2]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return ExperimentHarness(config=make_test_config(), scale=0.05, seed=3)
+
+    def test_run_and_cache(self, harness):
+        a = harness.run("vecadd", "none")
+        b = harness.run("vecadd", "none")
+        assert a is b  # cached object
+
+    def test_override_bypasses_cache_key(self, harness):
+        a = harness.run("vecadd", "cachecraft")
+        b = harness.run("vecadd", "cachecraft", craft_entries=8)
+        assert a is not b
+
+    def test_matrix_shape(self, harness):
+        grid = harness.matrix(["vecadd"], ("none", "sideband"))
+        assert set(grid) == {"vecadd"}
+        assert set(grid["vecadd"]) == {"none", "sideband"}
+
+    def test_normalized_performance_baseline_is_one(self, harness):
+        perf = harness.normalized_performance(["vecadd"], ("none", "sideband"))
+        assert perf["vecadd"]["none"] == 1.0
+        assert "geomean" in perf
+
+    def test_compare_schemes_rows(self):
+        rows = compare_schemes("vecadd", schemes=("none", "sideband"),
+                               config=make_test_config(), scale=0.05)
+        assert rows[0]["scheme"] == "none"
+        assert rows[0]["norm_perf"] == 1.0
+        assert rows[1]["norm_perf"] <= 1.01
+
+    def test_bench_config_shape(self):
+        cfg = bench_config(l2_size_kb=512)
+        assert cfg.gpu.l2_size_kb == 512
+        ctx = bench_gen_ctx(cfg, scale=0.1)
+        assert ctx.num_sms == cfg.gpu.num_sms
+
+
+class TestEnergy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        harness = ExperimentHarness(config=make_test_config(), scale=0.05,
+                                    seed=3)
+        return (harness.run("vecadd", "none"),
+                harness.run("vecadd", "inline-sector"))
+
+    def test_breakdown_components(self, results):
+        base, _prot = results
+        breakdown = energy_breakdown(base)
+        assert set(breakdown) == {"dram", "l2", "l1", "mdc", "ecc_check",
+                                  "craft"}
+        assert breakdown["dram"] > 0
+        assert breakdown["mdc"] == 0  # no MDC in the unprotected scheme
+
+    def test_protection_costs_energy(self, results):
+        base, prot = results
+        assert total_energy(prot) > total_energy(base)
+        assert relative_energy(prot, base) > 1.0
+
+    def test_relative_energy_same_workload_required(self, results):
+        base, _ = results
+        harness = ExperimentHarness(config=make_test_config(), scale=0.05,
+                                    seed=3)
+        other = harness.run("scan", "none")
+        with pytest.raises(ValueError):
+            relative_energy(other, base)
+
+
+class TestCheapExperiments:
+    def test_t1_lists_config(self):
+        out = t1_configuration()
+        assert out.ident == "T1"
+        assert "L2" in out.text
+
+    def test_t3_overheads_ordering(self):
+        out = t3_overheads()
+        data = out.data
+        assert data["none"]["storage"] == 0
+        assert data["inline-sector"]["storage"] > data["cachecraft"]["storage"]
+        assert data["sideband"]["device"] > 0
+
+    def test_t5_reliability_shapes(self):
+        out = t5_reliability(trials=60)
+        hsiao = out.data["hsiao(266,256)"]
+        assert hsiao["single-bit"]["corrected_rate"] + \
+            hsiao["single-bit"]["benign_rate"] == pytest.approx(1.0)
+        rs = out.data["rs(36,32)"]
+        assert rs["chip-8b"]["corrected_rate"] == pytest.approx(1.0)

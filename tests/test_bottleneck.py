@@ -1,0 +1,59 @@
+"""Unit/integration tests for bottleneck attribution."""
+
+import pytest
+
+from repro.analysis.bottleneck import analyze
+from repro.core.config import test_config as make_test_config
+from repro.core.system import run_workload
+from repro.workloads import make_workload
+from repro.workloads.base import GenContext
+
+
+def run(workload, scheme="none", **params):
+    config = make_test_config().with_scheme(scheme)
+    gen = GenContext(num_sms=2, warps_per_sm=4, scale=0.1, seed=3)
+    result = run_workload(make_workload(workload, **params), config,
+                          gen_ctx=gen)
+    return analyze(result, config), result
+
+
+def test_streaming_is_bandwidth_heavier_than_pointer_chase():
+    stream, _ = run("vecadd")
+    chase, _ = run("pchase")
+    assert stream.peak_bus_utilization > chase.peak_bus_utilization
+
+
+def test_pointer_chase_is_not_bandwidth_bound_unprotected():
+    report, _ = run("pchase")
+    assert report.classification != "bandwidth-bound"
+
+
+def test_protection_overfetch_raises_utilization():
+    base, _ = run("pchase")
+    protected, _ = run("pchase", scheme="inline-full")
+    assert protected.peak_bus_utilization > base.peak_bus_utilization
+
+
+def test_report_fields_sane():
+    report, result = run("histogram", scheme="cachecraft")
+    assert 0.0 <= report.peak_bus_utilization <= 1.0
+    assert all(0.0 <= u <= 1.0 for u in report.per_channel_utilization)
+    assert len(report.per_channel_utilization) == 2  # test config slices
+    assert report.latency_multiple >= 0
+    d = report.as_dict()
+    assert d["classification"] in ("bandwidth-bound", "latency-bound",
+                                   "compute/occupancy-bound")
+
+
+def test_compute_heavy_workload_not_memory_bound():
+    report, _ = run("gemm")
+    assert report.classification == "compute/occupancy-bound"
+
+
+def test_notes_surface_structural_stalls():
+    config = make_test_config().with_scheme("cachecraft",
+                                            craft_entries=2)
+    gen = GenContext(num_sms=2, warps_per_sm=4, scale=0.1, seed=3)
+    result = run_workload(make_workload("pchase"), config, gen_ctx=gen)
+    report = analyze(result, config)
+    assert any("craft" in note for note in report.notes)

@@ -1,0 +1,107 @@
+"""Unit tests for MSHR files and slice hashing."""
+
+import pytest
+
+from repro.cache.mshr import MshrFile
+from repro.cache.slicing import SliceHasher
+
+
+class TestMshr:
+    def test_allocate_and_get(self):
+        mshrs = MshrFile("m", 4)
+        entry = mshrs.allocate(100, 0b0011)
+        assert entry is not None
+        assert mshrs.get(100) is entry
+        assert len(mshrs) == 1
+
+    def test_merge_extends_mask_and_waiters(self):
+        mshrs = MshrFile("m", 4)
+        fired = []
+        mshrs.allocate(100, 0b0001, waiter=lambda: fired.append("a"))
+        entry = mshrs.allocate(100, 0b0100, waiter=lambda: fired.append("b"))
+        assert entry.sector_mask == 0b0101
+        assert entry.merges == 1
+        for waiter in mshrs.complete(100):
+            waiter()
+        assert fired == ["a", "b"]
+
+    def test_full_file_rejects(self):
+        mshrs = MshrFile("m", 2)
+        assert mshrs.allocate(1, 1) is not None
+        assert mshrs.allocate(2, 1) is not None
+        assert mshrs.allocate(3, 1) is None
+        assert mshrs.full
+
+    def test_merge_limit(self):
+        mshrs = MshrFile("m", 2, max_merges=2)
+        mshrs.allocate(1, 1, waiter=lambda: None)
+        mshrs.allocate(1, 1, waiter=lambda: None)
+        assert mshrs.allocate(1, 1, waiter=lambda: None) is None
+
+    def test_complete_unknown_key(self):
+        assert MshrFile("m", 2).complete(42) == []
+
+    def test_complete_frees_capacity(self):
+        mshrs = MshrFile("m", 1)
+        mshrs.allocate(1, 1)
+        mshrs.complete(1)
+        assert mshrs.allocate(2, 1) is not None
+
+    def test_stats(self):
+        mshrs = MshrFile("m", 1)
+        mshrs.allocate(1, 1)
+        mshrs.allocate(1, 1, waiter=lambda: None)
+        mshrs.allocate(2, 1)
+        flat = mshrs.stats.flatten()
+        assert flat["m.allocations"] == 1
+        assert flat["m.merges"] == 1
+        assert flat["m.full_stalls"] == 1
+
+    def test_peak_tracking(self):
+        mshrs = MshrFile("m", 8)
+        for key in range(5):
+            mshrs.allocate(key, 1)
+        mshrs.complete(0)
+        assert mshrs.peak == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MshrFile("m", 0)
+
+
+class TestSliceHasher:
+    def test_single_slice(self):
+        assert SliceHasher(1).slice_of(12345) == 0
+
+    def test_in_range(self):
+        hasher = SliceHasher(8)
+        for addr in range(0, 100000, 777):
+            assert 0 <= hasher.slice_of(addr) < 8
+
+    def test_deterministic(self):
+        hasher = SliceHasher(4)
+        assert hasher.slice_of(999) == hasher.slice_of(999)
+
+    def test_strided_pattern_spreads(self):
+        """The XOR fold must not map a power-of-two stride to one slice."""
+        hasher = SliceHasher(4)
+        slices = {hasher.slice_of(i * 16) for i in range(64)}
+        assert len(slices) == 4
+
+    def test_balance_on_sequential(self):
+        hasher = SliceHasher(4)
+        counts = [0] * 4
+        for line in range(4096):
+            counts[hasher.slice_of(line)] += 1
+        assert max(counts) - min(counts) < 4096 * 0.2
+
+    def test_non_power_of_two(self):
+        hasher = SliceHasher(3)
+        counts = [0] * 3
+        for line in range(3000):
+            counts[hasher.slice_of(line)] += 1
+        assert all(c > 0 for c in counts)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SliceHasher(0)

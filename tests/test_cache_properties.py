@@ -1,0 +1,89 @@
+"""Property-based tests for cache structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.replacement import LruPolicy
+from repro.cache.sectored import SectoredCache
+
+
+@st.composite
+def access_sequences(draw):
+    """A sequence of (line_addr, sector, is_write) accesses."""
+    n = draw(st.integers(5, 60))
+    return [
+        (draw(st.integers(0, 40)), draw(st.integers(0, 3)),
+         draw(st.booleans()))
+        for _ in range(n)
+    ]
+
+
+@given(access_sequences())
+@settings(max_examples=60)
+def test_cache_directory_invariants(seq):
+    """After any access sequence: directory matches array state, masks
+    stay within the line, dirty implies valid."""
+    cache = SectoredCache("c", 4096, 2, line_bytes=128, sector_bytes=32)
+    for line_addr, sector, is_write in seq:
+        line, _ev = cache.allocate(line_addr)
+        cache.fill_sector(line, sector, dirty=is_write)
+
+    seen = set()
+    for set_idx, ways in enumerate(cache._sets):
+        for way, line in enumerate(ways):
+            if line.line_addr >= 0:
+                assert cache._directory[line.line_addr] == (set_idx, way)
+                assert line.valid_mask <= cache.full_sector_mask
+                assert line.dirty_mask & ~line.valid_mask == 0
+                assert line.verified_mask & ~line.valid_mask == 0
+                seen.add(line.line_addr)
+    assert seen == set(cache._directory)
+
+
+@given(access_sequences())
+@settings(max_examples=60)
+def test_flush_leaves_cache_empty_and_returns_all_dirty(seq):
+    cache = SectoredCache("c", 4096, 2, line_bytes=128, sector_bytes=32)
+    dirty_lines = set()
+    for line_addr, sector, is_write in seq:
+        line, ev = cache.allocate(line_addr)
+        cache.fill_sector(line, sector, dirty=is_write)
+        if is_write:
+            dirty_lines.add(line_addr)
+        if ev is not None:
+            dirty_lines.discard(ev.line_addr)
+    evictions = cache.flush()
+    assert {e.line_addr for e in evictions} == dirty_lines
+    assert cache.occupancy() == 0.0
+    assert all(e.needs_writeback for e in evictions)
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_lru_victim_is_oldest_untouched(accesses):
+    """LRU invariant: the victim is always the way whose last access is
+    the furthest in the past."""
+    lru = LruPolicy(8)
+    last_touch = {way: -1 for way in range(8)}
+    for t, way in enumerate(accesses):
+        lru.on_access(way)
+        last_touch[way] = t
+    victim = lru.victim()
+    assert last_touch[victim] == min(last_touch.values())
+
+
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3)),
+                min_size=1, max_size=100))
+@settings(max_examples=60)
+def test_lookup_after_fill_always_hits(fills):
+    """Any sector that was filled and never evicted must hit."""
+    cache = SectoredCache("c", 16 * 1024, 16, line_bytes=128, sector_bytes=32)
+    # 16 KiB 16-way with 128 B lines = 8 sets; 16 distinct lines max
+    # cannot overflow a set here (16 ways), so nothing is ever evicted.
+    for line_addr, sector in fills:
+        line, ev = cache.allocate(line_addr)
+        assert ev is None or not ev.valid_mask
+        cache.fill_sector(line, sector)
+    for line_addr, sector in fills:
+        hit_mask, _ = cache.lookup_mask(line_addr, 1 << sector)
+        assert hit_mask == 1 << sector

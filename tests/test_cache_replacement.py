@@ -1,0 +1,127 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    SrripPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        lru = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            lru.on_access(way)
+        assert lru.victim() == 0
+        lru.on_access(0)
+        assert lru.victim() == 1
+
+    def test_fill_becomes_mru(self):
+        lru = LruPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        assert lru.victim() == 0
+
+    def test_low_priority_fill_next_to_evict(self):
+        lru = LruPolicy(4)
+        for way in range(4):
+            lru.on_access(way)
+        lru.on_fill(0, low_priority=True)
+        # way 0 sits at LRU+1: victim is way 1, then 0 right after.
+        assert lru.victim() == 1
+        lru.on_access(1)
+        assert lru.victim() == 0
+
+    def test_low_priority_saved_by_reuse(self):
+        lru = LruPolicy(2)
+        lru.on_access(0)
+        lru.on_fill(1, low_priority=True)
+        lru.on_access(1)
+        assert lru.victim() == 0
+
+
+class TestTreePlru:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePlruPolicy(6)
+
+    def test_victim_changes_after_touch(self):
+        plru = TreePlruPolicy(4)
+        v1 = plru.victim()
+        plru.on_access(v1)
+        assert plru.victim() != v1
+
+    def test_all_ways_eventually_victimized(self):
+        plru = TreePlruPolicy(8)
+        seen = set()
+        for _ in range(64):
+            v = plru.victim()
+            seen.add(v)
+            plru.on_access(v)
+        assert seen == set(range(8))
+
+    def test_low_priority_fill_left_as_victim(self):
+        plru = TreePlruPolicy(4)
+        victim = plru.victim()
+        plru.on_fill(victim, low_priority=True)
+        assert plru.victim() == victim
+
+
+class TestSrrip:
+    def test_insert_then_hit_protects(self):
+        srrip = SrripPolicy(4)
+        srrip.on_fill(0)
+        srrip.on_access(0)
+        for way in (1, 2, 3):
+            srrip.on_fill(way)
+        assert srrip.victim() != 0
+
+    def test_low_priority_insert_evicts_first(self):
+        srrip = SrripPolicy(4)
+        for way in (0, 1, 2):
+            srrip.on_fill(way)
+            srrip.on_access(way)
+        srrip.on_fill(3, low_priority=True)
+        assert srrip.victim() == 3
+
+    def test_aging_when_no_stale_way(self):
+        srrip = SrripPolicy(2)
+        srrip.on_fill(0)
+        srrip.on_access(0)
+        srrip.on_fill(1)
+        srrip.on_access(1)
+        assert srrip.victim() in (0, 1)  # aging loop must terminate
+
+
+class TestRandom:
+    def test_victims_in_range_and_varied(self):
+        rnd = RandomPolicy(8, seed=1)
+        victims = {rnd.victim() for _ in range(100)}
+        assert victims <= set(range(8))
+        assert len(victims) > 3
+
+    def test_deterministic_per_seed(self):
+        a = [RandomPolicy(8, seed=5).victim() for _ in range(10)]
+        b = [RandomPolicy(8, seed=5).victim() for _ in range(10)]
+        assert a == b
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LruPolicy),
+                                          ("plru", TreePlruPolicy),
+                                          ("srrip", SrripPolicy),
+                                          ("random", RandomPolicy)])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("belady", 4)
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)

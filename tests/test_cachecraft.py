@@ -1,0 +1,345 @@
+"""Unit tests for the CacheCraft scheme itself.
+
+These drive the scheme through a hand-wired context (no SMs) so every
+mechanism — reconstruction, the contribution directory, adaptive
+metadata insertion, the craft buffer, the write path — can be asserted
+in isolation.
+"""
+
+import pytest
+
+from repro.core.cachecraft import CacheCraft, LINEAR_CODES
+from repro.dram.channel import MemoryChannel
+from repro.dram.timing import DramTiming
+from repro.protection.base import ProtectionContext
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+
+class Wiring:
+    """Hand-rolled L2 stand-in: a dict of resident masks + install log."""
+
+    def __init__(self):
+        self.resident = {}   # (slice, line) -> (mask, dirty_mask)
+        self.installs = []
+
+    def resident_cb(self, slice_id, line, clean_only):
+        mask, dirty = self.resident.get((slice_id, line), (0, 0))
+        return mask & ~dirty if clean_only else mask
+
+    def install_cb(self, slice_id, line, mask, **kw):
+        self.installs.append((slice_id, line, mask, kw))
+        old_mask, old_dirty = self.resident.get((slice_id, line), (0, 0))
+        dirty = old_dirty | (mask if kw.get("dirty") else 0)
+        self.resident[(slice_id, line)] = (old_mask | mask, dirty)
+
+
+def make_cachecraft(slices=1, functional=False, **kwargs):
+    scheme = CacheCraft(**kwargs)
+    sim = Simulator()
+    layout = scheme.prepare(functional=functional)
+    channels = [MemoryChannel(f"d{i}", sim, DramTiming(refresh_enabled=False))
+                for i in range(slices)]
+    ctx = ProtectionContext(sim, layout, channels, StatsRegistry(),
+                            sector_bytes=32, line_bytes=128,
+                            slice_chunk_bytes=1024)
+    wiring = Wiring()
+    ctx.wire_l2(wiring.resident_cb, wiring.install_cb)
+    scheme.bind(ctx)
+    return sim, scheme, ctx, wiring
+
+
+def kinds(ctx, slice_id=0):
+    return ctx.channels[slice_id].bytes_by_kind()
+
+
+class TestColdFetch:
+    def test_cold_granule_fetches_everything_once(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        granted = []
+        scheme.fetch(0, 10, 0b0001, granted.append)
+        sim.run()
+        assert granted == [0b1111]
+        k = kinds(ctx)
+        assert k["data"] == 32
+        assert k["verify_fill"] == 96
+        assert k["metadata"] == 32
+
+    def test_merge_concurrent_same_granule(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        granted = []
+        scheme.fetch(0, 10, 0b0001, granted.append)
+        scheme.fetch(0, 10, 0b0100, granted.append)
+        sim.run()
+        assert granted == [0b1111, 0b1111]
+        assert kinds(ctx)["data"] == 32  # second fetch merged
+
+    def test_multi_granule_line(self):
+        """granule (64 B) < line (128 B): both granules reconstruct."""
+        sim, scheme, ctx, _w = make_cachecraft(granule_bytes=64)
+        granted = []
+        scheme.fetch(0, 10, 0b1001, granted.append)  # sectors in both halves
+        sim.run()
+        assert granted == [0b1111]
+        assert scheme.stats.flatten()[
+            "protection.cachecraft.granules_verified"] == 2
+
+
+class TestReconstruction:
+    def test_resident_clean_sectors_reused(self):
+        sim, scheme, ctx, w = make_cachecraft()
+        w.resident[(0, 10)] = (0b1110, 0)  # 3 clean verified sectors
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        k = kinds(ctx)
+        assert k["data"] == 32
+        assert k["verify_fill"] == 0  # nothing extra fetched
+        assert scheme.stats.flatten()[
+            "protection.cachecraft.reused_sectors"] == 3
+
+    def test_dirty_sectors_not_reused(self):
+        sim, scheme, ctx, w = make_cachecraft(directory_entries=0)
+        w.resident[(0, 10)] = (0b1110, 0b1110)  # resident but dirty
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        # Stale DRAM copies must be fetched for codeword verification.
+        assert kinds(ctx)["verify_fill"] == 96
+
+    def test_reconstruction_disabled_ablation(self):
+        sim, scheme, ctx, w = make_cachecraft(reconstruction=False)
+        w.resident[(0, 10)] = (0b1110, 0)
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["verify_fill"] == 96  # residency ignored
+
+    def test_verified_bits_ablation_requires_full_lines(self):
+        sim, scheme, ctx, w = make_cachecraft(verified_bits=False)
+        w.resident[(0, 10)] = (0b1110, 0)  # partial line: unusable
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["verify_fill"] == 96
+
+    def test_cross_line_reuse_for_large_granule(self):
+        sim, scheme, ctx, w = make_cachecraft(granule_bytes=256)
+        w.resident[(0, 11)] = (0b1111, 0)  # sibling line fully resident
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["verify_fill"] == 96  # only line 10's remainder
+
+
+class TestContributionDirectory:
+    def test_second_visit_fetches_demand_only(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        scheme.fetch(0, 10, 0b0001, lambda m: None)  # cold: full granule
+        sim.run()
+        fills_before = kinds(ctx)["verify_fill"]
+        # Granule evicted from L2 (wiring forgets nothing, so use a new
+        # line residency view): clear residency to simulate eviction.
+        scheme.fetch(0, 10, 0b0010, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["verify_fill"] == fills_before
+        flat = scheme.stats.flatten()
+        assert flat["protection.cachecraft.contrib_sectors"] > 0
+        assert flat["protection.cachecraft.directory_hits"] >= 1
+
+    def test_directory_disabled_refetches(self):
+        sim, scheme, ctx, w = make_cachecraft(directory_entries=0)
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        w.resident.clear()  # granule evicted
+        w.installs.clear()
+        before = kinds(ctx)["verify_fill"]
+        scheme.fetch(0, 10, 0b0010, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["verify_fill"] > before
+
+    def test_directory_lru_eviction(self):
+        sim, scheme, ctx, w = make_cachecraft(directory_entries=2)
+        for line in (10, 20, 30):  # three granules through a 2-entry dir
+            scheme.fetch(0, line, 0b0001, lambda m: None)
+            sim.run()
+        assert 10 * 128 // 128 not in scheme._directory[0]
+        assert len(scheme._directory[0]) == 2
+
+    def test_nonlinear_code_disables_directory(self):
+        sim, scheme, ctx, _w = make_cachecraft(code_name="mac64")
+        assert not scheme._linear
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        assert scheme._dir_lookup(0, 10) == 0
+
+    @pytest.mark.parametrize("code", sorted(LINEAR_CODES))
+    def test_linear_codes_enable_directory(self, code):
+        scheme = CacheCraft(code_name=code)
+        assert scheme._linear
+
+
+class TestCraftBuffer:
+    def test_overflow_queues_and_drains(self):
+        sim, scheme, ctx, _w = make_cachecraft(craft_entries=2)
+        granted = []
+        for line in range(6):
+            scheme.fetch(0, line, 0b0001, granted.append)
+        sim.run()
+        assert len(granted) == 6
+        assert scheme.stats.flatten()[
+            "protection.cachecraft.craft_full_stalls"] == 4
+
+    def test_no_extra_fetch_counter(self):
+        sim, scheme, ctx, w = make_cachecraft()
+        w.resident[(0, 10)] = (0b1110, 0)
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        flat = scheme.stats.flatten()
+        assert flat["protection.cachecraft.granules_no_extra_fetch"] == 1
+
+
+class TestMetadataInL2:
+    def test_metadata_installed_into_l2(self):
+        sim, scheme, ctx, w = make_cachecraft()
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        assert any(kw.get("is_metadata") for _s, _l, _m, kw in w.installs)
+
+    def test_metadata_hit_avoids_dram(self):
+        sim, scheme, ctx, w = make_cachecraft()
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        meta_before = kinds(ctx)["metadata"]
+        # Line 11 shares the metadata atom with line 10 (2 KiB coverage).
+        scheme.fetch(0, 11, 0b0001, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["metadata"] == meta_before
+        assert scheme.stats.flatten()[
+            "protection.cachecraft.meta_l2_hits"] >= 1
+
+    def test_metadata_in_l2_disabled_reads_dram_every_time(self):
+        sim, scheme, ctx, _w = make_cachecraft(metadata_in_l2=False)
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        scheme.fetch(0, 11, 0b0001, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["metadata"] == 64
+
+    def test_concurrent_metadata_fetches_merge(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        scheme.fetch(0, 11, 0b0001, lambda m: None)  # same meta atom
+        sim.run()
+        assert kinds(ctx)["metadata"] == 32
+
+
+class TestAdaptiveInsertion:
+    def test_psel_moves_on_leader_misses(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        start = scheme.psel
+        # Leader-normal metadata lines: groups 0-3 of 64.
+        meta_line = next(
+            line for line in range(1 << 30)
+            if (lambda ml: ml % 64 in scheme.DUEL_NORMAL)(
+                scheme._meta_line_and_bit(line)[0]))
+        scheme._note_meta_miss(scheme._meta_line_and_bit(meta_line)[0])
+        assert scheme.psel == start - 1
+
+    def test_follower_uses_psel_sign(self):
+        _sim, scheme, _ctx, _w = make_cachecraft()
+        follower = next(ml for ml in range(1000)
+                        if ml % 64 not in scheme.DUEL_NORMAL
+                        and ml % 64 not in scheme.DUEL_LOW)
+        scheme._psel = -5
+        assert scheme._insert_low_priority(follower) is True
+        scheme._psel = 5
+        assert scheme._insert_low_priority(follower) is False
+
+    def test_disabled_always_normal_priority(self):
+        _sim, scheme, _ctx, _w = make_cachecraft(adaptive_insertion=False)
+        assert scheme._insert_low_priority(123) is False
+
+
+class TestWritePath:
+    def test_fully_dirty_granule_no_rmw(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        scheme.writeback(0, 10, 0b1111, 0b1111, False)
+        sim.run()
+        k = kinds(ctx)
+        assert k["writeback"] == 128
+        assert k["verify_fill"] == 0
+
+    def test_partial_dirty_cold_granule_fetches_old_copy(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        scheme.writeback(0, 10, 0b0001, 0b0001, False)
+        sim.run()
+        # Delta form: one stale copy of the dirty sector.
+        assert kinds(ctx)["verify_fill"] == 32
+
+    def test_partial_dirty_with_directory_no_rmw(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        scheme.fetch(0, 10, 0b0001, lambda m: None)  # populates directory
+        sim.run()
+        before = kinds(ctx)["verify_fill"]
+        scheme.writeback(0, 10, 0b0001, 0b0001, False)
+        sim.run()
+        assert kinds(ctx)["verify_fill"] == before
+        assert scheme.stats.flatten()[
+            "protection.cachecraft.writeback_clean_regen"] >= 1
+
+    def test_metadata_line_eviction_writes_through(self):
+        sim, scheme, ctx, _w = make_cachecraft()
+        meta_line = scheme._meta_line_and_bit(0)[0]
+        scheme.writeback(0, meta_line, 0b0011, 0b0011, True)
+        sim.run()
+        k = kinds(ctx)
+        assert k["metadata_write"] == 64
+        assert k["writeback"] == 0
+
+    def test_writeback_commits_metadata_without_read(self):
+        sim, scheme, ctx, w = make_cachecraft()
+        scheme.writeback(0, 10, 0b1111, 0b1111, False)
+        sim.run()
+        # The regenerated check coalesces as a write-only L2 entry:
+        # no metadata read, no immediate DRAM write.
+        assert kinds(ctx)["metadata"] == 0
+        assert any(kw.get("is_metadata") and kw.get("dirty")
+                   and kw.get("verified") is False
+                   for _s, _l, _m, kw in w.installs)
+
+    def test_writeback_metadata_writes_through_without_l2(self):
+        sim, scheme, ctx, _w = make_cachecraft(metadata_in_l2=False)
+        scheme.writeback(0, 10, 0b1111, 0b1111, False)
+        sim.run()
+        k = kinds(ctx)
+        assert k["metadata_write"] == 32
+        assert k["metadata"] == 0
+
+    def test_directory_hit_skips_metadata_fetch(self):
+        sim, scheme, ctx, w = make_cachecraft()
+        scheme.fetch(0, 10, 0b0001, lambda m: None)
+        sim.run()
+        w.resident.clear()  # evict everything, directory survives
+        meta_before = kinds(ctx)["metadata"]
+        scheme.fetch(0, 10, 0b0010, lambda m: None)
+        sim.run()
+        assert kinds(ctx)["metadata"] == meta_before
+        assert scheme.stats.flatten()[
+            "protection.cachecraft.meta_directory_hits"] >= 1
+
+    def test_nonlinear_code_full_granule_rmw(self):
+        sim, scheme, ctx, _w = make_cachecraft(code_name="mac64")
+        scheme.writeback(0, 10, 0b0001, 0b0001, False)
+        sim.run()
+        # Needs the three absent sectors (non-dirty remainder).
+        assert kinds(ctx)["verify_fill"] == 96
+
+
+class TestOverheads:
+    def test_storage_overhead_low(self):
+        scheme = CacheCraft(granule_bytes=128)
+        scheme.prepare(functional=False)
+        assert scheme.storage_overhead() == pytest.approx(2 / 128)
+
+    def test_sram_overhead_scales_with_structures(self):
+        small = CacheCraft(craft_entries=8, directory_entries=0)
+        small.prepare(functional=False)
+        big = CacheCraft(craft_entries=64, directory_entries=4096)
+        big.prepare(functional=False)
+        assert big.sram_overhead_bytes() > small.sram_overhead_bytes()

@@ -1,0 +1,53 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "vecadd" in out
+    assert "cachecraft" in out
+    assert "F1" in out
+
+
+def test_run_small(capsys):
+    rc = main(["run", "-w", "vecadd", "-s", "none", "--scale", "0.03",
+               "--l2-kb", "256"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cycles=" in out
+    assert "dram_bytes=" in out
+
+
+def test_run_cachecraft_functional(capsys):
+    rc = main(["run", "-w", "vecadd", "-s", "cachecraft", "--scale", "0.03",
+               "--l2-kb", "256", "--functional"])
+    assert rc == 0
+    assert "cycles=" in capsys.readouterr().out
+
+
+def test_compare_prints_all_schemes(capsys):
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for scheme in ("none", "sideband", "inline-sector", "metadata-cache",
+                   "inline-full", "cachecraft"):
+        assert scheme in out
+
+
+def test_experiment_t1(capsys):
+    assert main(["experiment", "T1"]) == 0
+    assert "T1" in capsys.readouterr().out
+
+
+def test_invalid_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "-w", "notaworkload"])
+
+
+def test_invalid_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "Z9"])

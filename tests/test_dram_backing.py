@@ -1,0 +1,107 @@
+"""Unit tests for the functional backing store."""
+
+import pytest
+
+from repro.dram.backing import FunctionalMemory
+from repro.dram.layout import InlineEccLayout
+from repro.ecc import DecodeStatus, HsiaoCode
+
+
+@pytest.fixture
+def memory() -> FunctionalMemory:
+    layout = InlineEccLayout(granule_bytes=128, meta_per_granule=2)
+    return FunctionalMemory(layout, HsiaoCode(128))
+
+
+def test_untouched_memory_is_deterministic(memory):
+    a = memory.read_sector(0x1000)
+    b = memory.read_sector(0x1000)
+    assert a == b and len(a) == 32
+
+
+def test_different_sectors_differ(memory):
+    assert memory.read_sector(0) != memory.read_sector(32)
+
+
+def test_write_read_roundtrip(memory):
+    payload = bytes(range(32))
+    memory.write_sector(64, payload)
+    assert memory.read_sector(64) == payload
+
+
+def test_write_wrong_size_rejected(memory):
+    with pytest.raises(ValueError):
+        memory.write_sector(0, b"short")
+
+
+def test_read_granule_concatenates_sectors(memory):
+    granule = memory.read_granule(2)
+    base = 2 * 128
+    expected = b"".join(memory.read_sector(base + o) for o in (0, 32, 64, 96))
+    assert granule == expected
+
+
+def test_clean_granule_verifies(memory):
+    result = memory.verify_granule(5)
+    assert result is not None and result.status is DecodeStatus.CLEAN
+
+
+def test_metadata_lazily_encoded_and_padded(memory):
+    meta = memory.metadata_of(3)
+    assert len(meta) == 2
+
+
+def test_stale_metadata_after_silent_write(memory):
+    memory.verify_granule(7)  # metadata encoded for original contents
+    memory.write_sector(7 * 128, bytes(32))  # data changed, metadata not
+    result = memory.verify_granule(7)
+    assert result.status is not DecodeStatus.CLEAN
+
+
+def test_update_metadata_restores_consistency(memory):
+    memory.write_sector(9 * 128, bytes(32))
+    memory.update_metadata(9)
+    assert memory.verify_granule(9).status is DecodeStatus.CLEAN
+
+
+def test_single_bit_injection_corrected(memory):
+    memory.metadata_of(4)
+    memory.inject_bit_flip(4 * 128 + 32, bit=13)
+    result = memory.verify_granule(4)
+    assert result.status is DecodeStatus.CORRECTED
+
+
+def test_double_bit_injection_detected(memory):
+    memory.metadata_of(6)
+    memory.inject_bit_flip(6 * 128, bit=0)
+    memory.inject_bit_flip(6 * 128 + 64, bit=5)
+    result = memory.verify_granule(6)
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+def test_metadata_corruption_detected(memory):
+    memory.metadata_of(8)
+    memory.inject_metadata_corruption(8, bit=1)
+    result = memory.verify_granule(8)
+    # A metadata bit flip is a check-bit error: corrected by SEC-DED.
+    assert result.status is DecodeStatus.CORRECTED
+
+
+def test_injection_bounds(memory):
+    with pytest.raises(ValueError):
+        memory.inject_bit_flip(0, bit=256)
+    with pytest.raises(ValueError):
+        memory.inject_metadata_corruption(0, bit=999)
+
+
+def test_no_code_configured_skips_verification():
+    layout = InlineEccLayout()
+    memory = FunctionalMemory(layout, code=None)
+    assert memory.verify_granule(0) is None
+    assert memory.metadata_of(0) == bytes(layout.meta_per_granule)
+
+
+def test_resident_sector_accounting(memory):
+    before = memory.resident_sectors
+    memory.read_sector(10_000)
+    assert memory.resident_sectors == before + 1

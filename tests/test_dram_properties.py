@@ -1,0 +1,99 @@
+"""Property-based tests for the DRAM channel and the coalescer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.channel import DramRequest, MemoryChannel, RequestKind
+from repro.dram.timing import DramTiming
+from repro.gpu.coalescer import coalesce
+from repro.sim.engine import Simulator
+
+
+@st.composite
+def request_batches(draw):
+    """A batch of (addr, is_write, enqueue_delay) requests."""
+    n = draw(st.integers(1, 40))
+    return [
+        (draw(st.integers(0, 1 << 22)) // 32 * 32,
+         draw(st.booleans()),
+         draw(st.integers(0, 200)))
+        for _ in range(n)
+    ]
+
+
+@given(request_batches())
+@settings(max_examples=60, deadline=None)
+def test_channel_serves_everything_causally(batch):
+    """Every read completes, no earlier than it was enqueued plus the
+    minimum access latency, and the queue fully drains."""
+    sim = Simulator()
+    channel = MemoryChannel("ch", sim, DramTiming(refresh_enabled=False))
+    completions = {}
+
+    def submit(addr, is_write, idx):
+        def done(i=idx):
+            completions[i] = sim.now
+        channel.enqueue(DramRequest(addr, is_write, RequestKind.DATA,
+                                    callback=None if is_write else done))
+
+    enqueue_times = {}
+    for idx, (addr, is_write, delay) in enumerate(batch):
+        enqueue_times[idx] = delay
+        sim.schedule(delay, submit, addr, is_write, idx)
+    sim.run()
+
+    timing = channel.timing
+    for idx, (addr, is_write, _delay) in enumerate(batch):
+        if is_write:
+            continue
+        assert idx in completions, "read never completed"
+        latency = completions[idx] - enqueue_times[idx]
+        assert latency >= timing.t_cl + timing.t_burst
+    assert channel.queue_depth == 0
+
+
+@given(request_batches())
+@settings(max_examples=40, deadline=None)
+def test_channel_bus_conservation(batch):
+    """Total run time cannot be shorter than the pure data-bus time of
+    everything transferred."""
+    sim = Simulator()
+    channel = MemoryChannel("ch", sim, DramTiming(refresh_enabled=False))
+    for addr, is_write, delay in batch:
+        sim.schedule(delay, channel.enqueue,
+                     DramRequest(addr, is_write, RequestKind.DATA))
+    end = sim.run()
+    atoms = channel.total_bytes // channel.atom_bytes
+    assert end >= atoms * channel.timing.t_burst
+
+
+@given(request_batches())
+@settings(max_examples=40, deadline=None)
+def test_traffic_accounting_is_exact(batch):
+    sim = Simulator()
+    channel = MemoryChannel("ch", sim, DramTiming(refresh_enabled=False))
+    for addr, is_write, _delay in batch:
+        channel.enqueue(DramRequest(addr, is_write, RequestKind.DATA))
+    sim.run()
+    assert channel.total_bytes == len(batch) * 32
+    flat = channel.stats.flatten()
+    assert flat["ch.reads"] + flat["ch.writes"] == len(batch)
+    assert flat["ch.row_hits"] + flat["ch.row_misses"] == len(batch)
+
+
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=32))
+@settings(max_examples=100)
+def test_coalescer_covers_exactly_the_touched_sectors(addresses):
+    """Union of transaction sector masks == the distinct sectors the
+    addresses touch; no transaction is empty; lines are unique."""
+    txns = coalesce(addresses)
+    expected = {(a // 128, (a % 128) // 32) for a in addresses}
+    produced = set()
+    lines = [line for line, _mask in txns]
+    assert len(lines) == len(set(lines))
+    for line, mask in txns:
+        assert mask != 0
+        for sector in range(4):
+            if mask & (1 << sector):
+                produced.add((line, sector))
+    assert produced == expected

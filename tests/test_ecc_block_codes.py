@@ -1,0 +1,195 @@
+"""Unit tests for parity, Hamming, Hsiao, CRC, and MAC codes."""
+
+import random
+
+import pytest
+
+from repro.ecc import (
+    CrcCode,
+    DecodeStatus,
+    ExtendedHammingCode,
+    HammingCode,
+    HsiaoCode,
+    ParityCode,
+    TruncatedMac,
+)
+from repro.ecc.gf import flip_bit, flip_bits
+
+RNG = random.Random(1234)
+
+
+def _random_data(n: int) -> bytes:
+    return bytes(RNG.randrange(256) for _ in range(n))
+
+
+class TestParity:
+    def test_clean_decode(self):
+        code = ParityCode(8)
+        data = _random_data(8)
+        assert code.decode(data, code.encode(data)).status is DecodeStatus.CLEAN
+
+    def test_single_flip_detected(self):
+        code = ParityCode(8)
+        data = _random_data(8)
+        check = code.encode(data)
+        result = code.decode(flip_bit(data, 13), check)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_double_flip_same_group_missed(self):
+        code = ParityCode(8, interleave=1)
+        data = _random_data(8)
+        check = code.encode(data)
+        result = code.decode(flip_bits(data, [3, 17]), check)
+        assert result.status is DecodeStatus.CLEAN  # the known parity hole
+
+    def test_interleaved_parity_catches_bursts(self):
+        code = ParityCode(8, interleave=8)
+        data = _random_data(8)
+        check = code.encode(data)
+        burst = flip_bits(data, range(8, 16))  # 8 adjacent flips
+        assert code.decode(burst, check).status \
+            is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_wrong_size_rejected(self):
+        code = ParityCode(8)
+        with pytest.raises(ValueError):
+            code.encode(b"\x00" * 9)
+
+
+@pytest.mark.parametrize("code_cls", [HammingCode, ExtendedHammingCode,
+                                      HsiaoCode])
+@pytest.mark.parametrize("data_bytes", [4, 16, 32, 64])
+class TestSingleErrorCorrection:
+    def test_clean(self, code_cls, data_bytes):
+        code = code_cls(data_bytes)
+        data = _random_data(data_bytes)
+        assert code.decode(data, code.encode(data)).status is DecodeStatus.CLEAN
+
+    def test_every_single_data_bit_corrects(self, code_cls, data_bytes):
+        code = code_cls(data_bytes)
+        data = _random_data(data_bytes)
+        check = code.encode(data)
+        step = max(1, data_bytes)  # sample every 8th bit to keep it fast
+        for bit in range(0, data_bytes * 8, step):
+            result = code.decode(flip_bit(data, bit), check)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_check_bit_flip_leaves_data_intact(self, code_cls, data_bytes):
+        code = code_cls(data_bytes)
+        data = _random_data(data_bytes)
+        check = bytearray(code.encode(data))
+        check[0] ^= 1
+        result = code.decode(data, bytes(check))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+
+@pytest.mark.parametrize("code_cls", [ExtendedHammingCode, HsiaoCode])
+class TestDoubleErrorDetection:
+    def test_double_data_flips_detected(self, code_cls):
+        code = code_cls(32)
+        for _ in range(50):
+            data = _random_data(32)
+            check = code.encode(data)
+            b1, b2 = RNG.sample(range(256), 2)
+            result = code.decode(flip_bits(data, (b1, b2)), check)
+            assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_data_plus_check_flip_detected(self, code_cls):
+        code = code_cls(32)
+        data = _random_data(32)
+        check = bytearray(code.encode(data))
+        check[0] ^= 2
+        result = code.decode(flip_bit(data, 100), bytes(check))
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+class TestHsiaoStructure:
+    def test_check_bits_match_theory(self):
+        # 256 data bits need 10 check bits (2^9 - 10 >= 256).
+        assert HsiaoCode(32).spec.check_bits == 10
+        assert HsiaoCode(8).spec.check_bits == 8
+
+    def test_all_columns_odd_weight(self):
+        code = HsiaoCode(16)
+        for col in code._columns:
+            assert bin(col).count("1") % 2 == 1
+
+    def test_columns_distinct(self):
+        code = HsiaoCode(32)
+        assert len(set(code._columns)) == len(code._columns)
+
+    def test_explicit_check_bits(self):
+        code = HsiaoCode(8, check_bits=9)
+        assert code.spec.check_bits == 9
+
+    def test_too_few_check_bits_rejected(self):
+        with pytest.raises(ValueError):
+            HsiaoCode(32, check_bits=6)
+
+    def test_syndrome_zero_for_clean(self):
+        code = HsiaoCode(16)
+        data = _random_data(16)
+        assert code.syndrome(data, code.encode(data)) == 0
+
+
+class TestCrc:
+    def test_clean(self):
+        code = CrcCode(32)
+        data = _random_data(32)
+        assert code.decode(data, code.encode(data)).ok
+
+    @pytest.mark.parametrize("width", [8, 16, 32])
+    def test_any_single_flip_detected(self, width):
+        code = CrcCode(16, width=width)
+        data = _random_data(16)
+        check = code.encode(data)
+        for bit in range(0, 128, 7):
+            assert not code.decode(flip_bit(data, bit), check).ok
+
+    def test_burst_detection(self):
+        code = CrcCode(32, width=32)
+        data = _random_data(32)
+        check = code.encode(data)
+        for start in range(0, 220, 31):
+            corrupted = flip_bits(data, range(start, start + 20))
+            assert not code.decode(corrupted, check).ok
+
+    def test_known_crc32_vector(self):
+        # CRC-32 of "123456789" is the classic check value 0xCBF43926.
+        code = CrcCode(9, width=32)
+        assert code.checksum(b"123456789") == 0xCBF43926
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            CrcCode(8, width=12)
+
+
+class TestMac:
+    def test_clean(self):
+        mac = TruncatedMac(32)
+        data = _random_data(32)
+        assert mac.decode(data, mac.encode(data)).ok
+
+    def test_any_corruption_detected(self):
+        mac = TruncatedMac(32, mac_bits=64)
+        data = _random_data(32)
+        check = mac.encode(data)
+        for bit in range(0, 256, 17):
+            assert not mac.decode(flip_bit(data, bit), check).ok
+
+    def test_key_separation(self):
+        a = TruncatedMac(16, key=b"key-a")
+        b = TruncatedMac(16, key=b"key-b")
+        data = _random_data(16)
+        assert a.encode(data) != b.encode(data)
+
+    def test_tweak_binds_address(self):
+        mac = TruncatedMac(16)
+        data = _random_data(16)
+        assert mac.tag(data, tweak=1) != mac.tag(data, tweak=2)
+
+    def test_invalid_mac_bits(self):
+        with pytest.raises(ValueError):
+            TruncatedMac(16, mac_bits=12)

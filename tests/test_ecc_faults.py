@@ -1,0 +1,110 @@
+"""Unit tests for fault models and injection campaigns."""
+
+import random
+
+import pytest
+
+from repro.ecc import (
+    BurstFault,
+    ChipFault,
+    FaultCampaign,
+    HsiaoCode,
+    MultiBitFault,
+    ParityCode,
+    ReedSolomonCode,
+    SingleBitFault,
+)
+
+RNG = random.Random(3)
+
+
+class TestFaultModels:
+    def test_single_bit_in_range(self):
+        fault = SingleBitFault()
+        for _ in range(100):
+            bits = fault.sample(128, RNG)
+            assert len(bits) == 1 and 0 <= bits[0] < 128
+
+    def test_multi_bit_distinct(self):
+        fault = MultiBitFault(5)
+        bits = fault.sample(256, RNG)
+        assert len(set(bits)) == 5
+
+    def test_burst_confined_to_window(self):
+        fault = BurstFault(8)
+        for _ in range(100):
+            bits = sorted(fault.sample(256, RNG))
+            assert bits[-1] - bits[0] == 7  # endpoints always flip
+            assert len(bits) >= 2
+
+    def test_chip_fault_symbol_aligned(self):
+        fault = ChipFault(8)
+        for _ in range(100):
+            bits = fault.sample(256, RNG)
+            symbols = {b // 8 for b in bits}
+            assert len(symbols) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MultiBitFault(0)
+        with pytest.raises(ValueError):
+            BurstFault(1)
+        with pytest.raises(ValueError):
+            ChipFault(1)
+
+    def test_names(self):
+        assert MultiBitFault(3).name == "3-random-bits"
+        assert BurstFault(4).name == "burst-4"
+        assert ChipFault(8).name == "chip-8b"
+
+
+class TestCampaigns:
+    def test_secded_single_bit_full_coverage(self):
+        campaign = FaultCampaign(HsiaoCode(32))
+        result = campaign.run(SingleBitFault(), 300)
+        assert result.corrected + result.benign == 300
+        assert result.sdc == 0
+
+    def test_secded_double_bit_all_detected(self):
+        campaign = FaultCampaign(HsiaoCode(32))
+        result = campaign.run(MultiBitFault(2), 300)
+        assert result.detected == 300
+
+    def test_rs_chipkill_full_correction(self):
+        campaign = FaultCampaign(ReedSolomonCode(32, 4))
+        result = campaign.run(ChipFault(8), 200)
+        assert result.corrected == 200
+
+    def test_parity_misses_most_double_flips(self):
+        campaign = FaultCampaign(ParityCode(32, interleave=1))
+        result = campaign.run(MultiBitFault(2), 400)
+        # Double data flips defeat single parity (even weight); the few
+        # detections come from flips landing in check-byte padding bits.
+        assert result.sdc > 300
+        assert result.detected < 40
+
+    def test_rates_sum_to_one(self):
+        campaign = FaultCampaign(HsiaoCode(16))
+        result = campaign.run(BurstFault(6), 200)
+        d = result.as_dict()
+        total = (d["corrected_rate"] + d["detected_rate"] + d["sdc_rate"]
+                 + d["benign_rate"])
+        assert abs(total - 1.0) < 1e-9
+
+    def test_campaign_deterministic_per_seed(self):
+        a = FaultCampaign(HsiaoCode(16), seed=9).run(BurstFault(5), 100)
+        b = FaultCampaign(HsiaoCode(16), seed=9).run(BurstFault(5), 100)
+        assert a.as_dict() == b.as_dict()
+
+    def test_sweep_runs_all_models(self):
+        campaign = FaultCampaign(HsiaoCode(16))
+        results = campaign.sweep([SingleBitFault(), MultiBitFault(2)], 50)
+        assert [r.fault_name for r in results] == ["single-bit",
+                                                   "2-random-bits"]
+
+    def test_stronger_code_never_worse_on_bursts(self):
+        """RS with t=2 must dominate SEC-DED on 4-bit bursts."""
+        secded = FaultCampaign(HsiaoCode(32)).run(BurstFault(4), 300)
+        rs = FaultCampaign(ReedSolomonCode(32, 4)).run(BurstFault(4), 300)
+        assert rs.sdc <= secded.sdc
+        assert rs.corrected >= secded.corrected

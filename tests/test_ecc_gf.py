@@ -1,0 +1,109 @@
+"""Unit tests for finite-field helpers."""
+
+import pytest
+
+from repro.ecc.gf import (
+    GF8_EXP,
+    GF8_LOG,
+    bytes_to_int,
+    dot_gf2,
+    flip_bit,
+    flip_bits,
+    gf8_div,
+    gf8_inv,
+    gf8_mul,
+    gf8_pow,
+    int_to_bytes,
+    matvec_gf2,
+    parity,
+    poly_eval,
+    poly_mul,
+    popcount,
+)
+
+
+class TestGf2:
+    def test_bytes_roundtrip(self):
+        data = bytes(range(16))
+        assert int_to_bytes(bytes_to_int(data), 16) == data
+
+    def test_bit_zero_is_lsb_of_first_byte(self):
+        assert bytes_to_int(b"\x01\x00") == 1
+        assert bytes_to_int(b"\x00\x01") == 256
+
+    def test_parity(self):
+        assert parity(0) == 0
+        assert parity(0b1011) == 1
+        assert parity(0b1111) == 0
+
+    def test_popcount(self):
+        assert popcount(0b101101) == 4
+
+    def test_dot(self):
+        assert dot_gf2(0b110, 0b011) == 1
+        assert dot_gf2(0b110, 0b110) == 0
+
+    def test_matvec(self):
+        rows = [0b01, 0b11]
+        assert matvec_gf2(rows, 0b01) == 0b11
+        assert matvec_gf2(rows, 0b10) == 0b10
+
+    def test_flip_bit(self):
+        assert flip_bit(b"\x00", 3) == b"\x08"
+        assert flip_bit(flip_bit(b"\xab", 5), 5) == b"\xab"
+
+    def test_flip_bits_multi(self):
+        assert flip_bits(b"\x00\x00", [0, 8]) == b"\x01\x01"
+
+    def test_flip_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit(b"\x00", 8)
+
+
+class TestGf8:
+    def test_tables_consistent(self):
+        for value in range(1, 256):
+            assert GF8_EXP[GF8_LOG[value]] == value
+
+    def test_mul_commutative_with_identity(self):
+        for a in (1, 7, 200, 255):
+            assert gf8_mul(a, 1) == a
+            assert gf8_mul(1, a) == a
+            assert gf8_mul(a, 0) == 0
+
+    def test_mul_matches_manual_example(self):
+        # 2 * 2 = 4 in GF(2^8).
+        assert gf8_mul(2, 2) == 4
+
+    def test_div_inverts_mul(self):
+        for a in (3, 99, 254):
+            for b in (1, 17, 255):
+                assert gf8_div(gf8_mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf8_div(5, 0)
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf8_mul(a, gf8_inv(a)) == 1
+
+    def test_inverse_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf8_inv(0)
+
+    def test_pow_negative(self):
+        a = 19
+        assert gf8_mul(gf8_pow(a, -1), a) == 1
+        assert gf8_pow(a, 0) == 1
+
+    def test_poly_eval_constant(self):
+        assert poly_eval([7], 99) == 7
+
+    def test_poly_eval_linear(self):
+        # p(x) = 3 + 2x at x=5: 3 ^ (2*5 in GF)
+        assert poly_eval([3, 2], 5) == 3 ^ gf8_mul(2, 5)
+
+    def test_poly_mul_degree(self):
+        product = poly_mul([1, 1], [1, 1])  # (1+x)^2 = 1 + x^2 over GF(2^8)
+        assert product == [1, 0, 1]

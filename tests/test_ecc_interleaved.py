@@ -1,0 +1,110 @@
+"""Unit tests for the interleaved code organization."""
+
+import random
+
+import pytest
+
+from repro.ecc import BurstFault, DecodeStatus, FaultCampaign, HsiaoCode
+from repro.ecc.gf import flip_bit, flip_bits
+from repro.ecc.interleaved import InterleavedCode
+
+RNG = random.Random(21)
+
+
+def _random_data(n: int) -> bytes:
+    return bytes(RNG.randrange(256) for _ in range(n))
+
+
+@pytest.fixture(scope="module")
+def code() -> InterleavedCode:
+    return InterleavedCode(32, ways=4)
+
+
+def test_spec_shape(code):
+    assert code.spec.data_bytes == 32
+    assert code.ways == 4
+    assert code.burst_correction_length == 4
+    # 4 Hsiao(8B) codes: 8 check bits each -> 4 bytes total.
+    assert code.spec.check_bytes == 4
+
+
+def test_clean_roundtrip(code):
+    data = _random_data(32)
+    assert code.decode(data, code.encode(data)).status is DecodeStatus.CLEAN
+
+
+def test_single_bit_corrects(code):
+    data = _random_data(32)
+    check = code.encode(data)
+    for bit in range(0, 256, 13):
+        result = code.decode(flip_bit(data, bit), check)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+
+def test_any_burst_up_to_ways_corrects(code):
+    """The defining property: a ways-long burst puts one flip per
+    codeword, so every 2..4-bit contiguous burst is corrected."""
+    data = _random_data(32)
+    check = code.encode(data)
+    for length in (2, 3, 4):
+        for start in range(0, 256 - length, 29):
+            corrupted = flip_bits(data, range(start, start + length))
+            result = code.decode(corrupted, check)
+            assert result.status is DecodeStatus.CORRECTED, (length, start)
+            assert result.data == data
+
+
+def test_burst_of_ways_plus_one_detected_not_silent(code):
+    """5-bit bursts put two flips in one way: SEC-DED there detects."""
+    data = _random_data(32)
+    check = code.encode(data)
+    for start in range(0, 250, 31):
+        corrupted = flip_bits(data, range(start, start + 5))
+        result = code.decode(corrupted, check)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+def test_two_random_bits_same_way_detected(code):
+    data = _random_data(32)
+    check = code.encode(data)
+    # Bits 0 and 4 both land in way 0.
+    result = code.decode(flip_bits(data, (0, 4)), check)
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+def test_two_random_bits_different_ways_corrected(code):
+    data = _random_data(32)
+    check = code.encode(data)
+    result = code.decode(flip_bits(data, (0, 1)), check)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+
+
+def test_campaign_beats_plain_hsiao_on_bursts():
+    """Any 4-bit burst — in data OR in the stored check bits — spreads
+    across the four ways and is fully corrected."""
+    trials = 300
+    plain = FaultCampaign(HsiaoCode(32)).run(BurstFault(4), trials)
+    inter = FaultCampaign(InterleavedCode(32, ways=4)).run(
+        BurstFault(4), trials)
+    assert inter.sdc == 0
+    assert inter.detected == 0
+    assert inter.corrected + inter.benign == trials
+    assert inter.corrected > plain.corrected
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        InterleavedCode(32, ways=1)
+    with pytest.raises(ValueError):
+        InterleavedCode(3, ways=4)  # 24 bits don't split into byte lanes
+
+
+def test_check_bit_flip_harmless(code):
+    data = _random_data(32)
+    check = bytearray(code.encode(data))
+    check[0] ^= 0x10
+    result = code.decode(data, bytes(check))
+    assert result.ok
+    assert result.data == data

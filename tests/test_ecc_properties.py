@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the coding layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    CrcCode,
+    DecodeStatus,
+    HsiaoCode,
+    ReedSolomonCode,
+    TaggedHsiaoCode,
+)
+from repro.ecc.gf import flip_bit, flip_bits, gf8_div, gf8_mul
+
+data16 = st.binary(min_size=16, max_size=16)
+data32 = st.binary(min_size=32, max_size=32)
+
+HSIAO16 = HsiaoCode(16)
+HSIAO32 = HsiaoCode(32)
+RS32 = ReedSolomonCode(32, 4)
+CRC = CrcCode(16, width=32)
+TAGGED = TaggedHsiaoCode(16, tag_bits=4)
+
+
+@given(data32)
+def test_hsiao_roundtrip(data):
+    assert HSIAO32.decode(data, HSIAO32.encode(data)).status \
+        is DecodeStatus.CLEAN
+
+
+@given(data32, st.integers(0, 255))
+def test_hsiao_corrects_any_single_bit(data, bit):
+    check = HSIAO32.encode(data)
+    result = HSIAO32.decode(flip_bit(data, bit), check)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+
+
+@given(data32, st.lists(st.integers(0, 255), min_size=2, max_size=2,
+                        unique=True))
+def test_hsiao_detects_any_double_bit(data, bits):
+    check = HSIAO32.encode(data)
+    result = HSIAO32.decode(flip_bits(data, bits), check)
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+@given(data16, data16)
+def test_hsiao_linearity(a, b):
+    """check(a XOR b) == check(a) XOR check(b) — the property the
+    contribution directory depends on."""
+    xored = bytes(x ^ y for x, y in zip(a, b))
+    ca = int.from_bytes(HSIAO16.encode(a), "little")
+    cb = int.from_bytes(HSIAO16.encode(b), "little")
+    cx = int.from_bytes(HSIAO16.encode(xored), "little")
+    assert cx == ca ^ cb
+
+
+@given(data32)
+def test_rs_roundtrip(data):
+    assert RS32.decode(data, RS32.encode(data)).status is DecodeStatus.CLEAN
+
+
+@settings(max_examples=40)
+@given(data32,
+       st.lists(st.tuples(st.integers(0, 35), st.integers(1, 255)),
+                min_size=1, max_size=2, unique_by=lambda t: t[0]))
+def test_rs_corrects_up_to_two_symbols(data, errors):
+    cw = bytearray(RS32.codeword(data))
+    for pos, mag in errors:
+        cw[pos] ^= mag
+    result = RS32.decode(bytes(cw[:32]), bytes(cw[32:]))
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+
+
+@given(data16, st.integers(0, 127))
+def test_crc_single_flip_always_detected(data, bit):
+    check = CRC.encode(data)
+    assert not CRC.decode(flip_bit(data, bit), check).ok
+
+
+@given(data16, st.integers(0, 15), st.integers(0, 15))
+def test_tagged_tag_mismatch_never_corrects(data, tag, expected):
+    check = TAGGED.encode_tagged(data, tag)
+    result = TAGGED.decode_tagged(data, check, expected)
+    if tag == expected:
+        assert result.status is DecodeStatus.CLEAN
+    else:
+        assert result.status is DecodeStatus.TAG_MISMATCH
+
+
+@given(st.integers(1, 255), st.integers(1, 255), st.integers(1, 255))
+def test_gf8_field_axioms(a, b, c):
+    # Associativity and distributivity over XOR-addition.
+    assert gf8_mul(a, gf8_mul(b, c)) == gf8_mul(gf8_mul(a, b), c)
+    assert gf8_mul(a, b ^ c) == gf8_mul(a, b) ^ gf8_mul(a, c)
+    assert gf8_div(gf8_mul(a, b), b) == a

@@ -1,0 +1,108 @@
+"""Unit tests for the Reed-Solomon code."""
+
+import random
+
+import pytest
+
+from repro.ecc import DecodeStatus, ReedSolomonCode
+
+RNG = random.Random(77)
+
+
+def _random_data(n: int) -> bytes:
+    return bytes(RNG.randrange(256) for _ in range(n))
+
+
+def _corrupt_symbols(codeword: bytes, count: int) -> bytes:
+    buf = bytearray(codeword)
+    for pos in RNG.sample(range(len(buf)), count):
+        buf[pos] ^= RNG.randrange(1, 256)
+    return bytes(buf)
+
+
+@pytest.mark.parametrize("data_bytes,check_symbols", [(32, 4), (16, 2),
+                                                      (64, 8), (128, 4)])
+class TestRoundTrip:
+    def test_clean(self, data_bytes, check_symbols):
+        code = ReedSolomonCode(data_bytes, check_symbols)
+        data = _random_data(data_bytes)
+        result = code.decode(data, code.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+
+    def test_corrects_up_to_t(self, data_bytes, check_symbols):
+        code = ReedSolomonCode(data_bytes, check_symbols)
+        for errors in range(1, code.t + 1):
+            data = _random_data(data_bytes)
+            cw = _corrupt_symbols(code.codeword(data), errors)
+            result = code.decode(cw[:data_bytes], cw[data_bytes:])
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+
+class TestBeyondCapability:
+    def test_t_plus_one_never_silently_wrong(self):
+        code = ReedSolomonCode(32, 4)  # t = 2
+        silent = 0
+        for _ in range(150):
+            data = _random_data(32)
+            cw = _corrupt_symbols(code.codeword(data), 3)
+            result = code.decode(cw[:32], cw[32:])
+            if result.status is DecodeStatus.CORRECTED and result.data != data:
+                silent += 1
+        # 3 errors can occasionally land inside another codeword's ball;
+        # it must be rare, not systematic.
+        assert silent <= 5
+
+    def test_gross_corruption_detected(self):
+        code = ReedSolomonCode(32, 4)
+        data = _random_data(32)
+        junk = _corrupt_symbols(code.codeword(data), 20)
+        result = code.decode(junk[:32], junk[32:])
+        assert result.status is not DecodeStatus.CLEAN
+
+
+class TestChipkillUse:
+    def test_whole_symbol_burst_corrects(self):
+        """A dead x8 device corrupts one aligned byte per beat."""
+        code = ReedSolomonCode(32, 4)
+        data = _random_data(32)
+        cw = bytearray(code.codeword(data))
+        pos = RNG.randrange(len(cw))
+        cw[pos] = 0xFF  # stuck-at device
+        result = code.decode(bytes(cw[:32]), bytes(cw[32:]))
+        assert result.ok
+        assert result.data == data
+
+    def test_two_symbol_chipkill(self):
+        code = ReedSolomonCode(36, 4)
+        data = _random_data(36)
+        cw = bytearray(code.codeword(data))
+        cw[3] ^= 0xA5
+        cw[20] ^= 0x5A
+        result = code.decode(bytes(cw[:36]), bytes(cw[36:]))
+        assert result.data == data
+
+
+class TestValidation:
+    def test_codeword_too_long(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(254, 4)
+
+    def test_odd_check_symbols(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(32, 3)
+
+    def test_check_error_only_corrects(self):
+        code = ReedSolomonCode(32, 4)
+        data = _random_data(32)
+        check = bytearray(code.encode(data))
+        check[1] ^= 0x40
+        result = code.decode(data, bytes(check))
+        assert result.ok
+        assert result.data == data
+
+    def test_spec_shape(self):
+        code = ReedSolomonCode(32, 4)
+        assert code.spec.data_bytes == 32
+        assert code.spec.check_bytes == 4
+        assert code.t == 2

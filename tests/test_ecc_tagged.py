@@ -1,0 +1,96 @@
+"""Unit tests for the alias-free tagged ECC (IMT-style)."""
+
+import random
+
+import pytest
+
+from repro.ecc import DecodeStatus, TaggedHsiaoCode
+from repro.ecc.gf import flip_bit
+
+RNG = random.Random(5)
+
+
+def _random_data(n: int) -> bytes:
+    return bytes(RNG.randrange(256) for _ in range(n))
+
+
+@pytest.fixture(scope="module")
+def code() -> TaggedHsiaoCode:
+    return TaggedHsiaoCode(32, tag_bits=4)
+
+
+def test_clean_with_matching_tag(code):
+    data = _random_data(32)
+    check = code.encode_tagged(data, tag=9)
+    assert code.decode_tagged(data, check, 9).status is DecodeStatus.CLEAN
+
+
+def test_every_wrong_tag_reports_mismatch(code):
+    data = _random_data(32)
+    tag = 5
+    check = code.encode_tagged(data, tag)
+    for wrong in range(16):
+        if wrong == tag:
+            continue
+        result = code.decode_tagged(data, check, wrong)
+        assert result.status is DecodeStatus.TAG_MISMATCH, wrong
+
+
+def test_single_bit_error_corrects_under_right_tag(code):
+    data = _random_data(32)
+    check = code.encode_tagged(data, 3)
+    for bit in range(0, 256, 31):
+        result = code.decode_tagged(flip_bit(data, bit), check, 3)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+
+def test_alias_freedom_no_tag_delta_matches_single_bit():
+    """The defining property: a pure tag mismatch must never decode as
+    a correctable single-bit error (which would hide the violation)."""
+    code = TaggedHsiaoCode(32, tag_bits=4)
+    data = _random_data(32)
+    for tag in range(16):
+        check = code.encode_tagged(data, tag)
+        for expected in range(16):
+            if expected == tag:
+                continue
+            result = code.decode_tagged(data, check, expected)
+            assert result.status is not DecodeStatus.CORRECTED
+
+
+def test_error_plus_wrong_tag_not_silent(code):
+    """Data error AND tag mismatch together: anything but CLEAN."""
+    data = _random_data(32)
+    check = code.encode_tagged(data, 7)
+    result = code.decode_tagged(flip_bit(data, 50), check, 8)
+    assert result.status is not DecodeStatus.CLEAN
+
+
+def test_plain_errorcode_interface_uses_tag_zero(code):
+    data = _random_data(32)
+    assert code.decode(data, code.encode(data)).status is DecodeStatus.CLEAN
+
+
+def test_tag_out_of_range_rejected(code):
+    with pytest.raises(ValueError):
+        code.encode_tagged(_random_data(32), tag=16)
+
+
+@pytest.mark.parametrize("tag_bits", [1, 2, 4, 6])
+def test_various_tag_widths_construct(tag_bits):
+    code = TaggedHsiaoCode(16, tag_bits=tag_bits)
+    data = _random_data(16)
+    tag = (1 << tag_bits) - 1
+    check = code.encode_tagged(data, tag)
+    assert code.decode_tagged(data, check, tag).status is DecodeStatus.CLEAN
+    if tag_bits > 1:
+        assert code.decode_tagged(data, check, 0).status \
+            is DecodeStatus.TAG_MISMATCH
+
+
+def test_invalid_tag_bits():
+    with pytest.raises(ValueError):
+        TaggedHsiaoCode(16, tag_bits=0)
+    with pytest.raises(ValueError):
+        TaggedHsiaoCode(16, tag_bits=9)

@@ -1,0 +1,63 @@
+"""Smoke checks on the example scripts.
+
+Full example runs take minutes (they are demos, not tests); here we
+verify they parse, follow the expected structure, and that the cheapest
+one executes end-to-end.
+"""
+
+import ast
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_expected_examples_present():
+    names = {os.path.basename(p) for p in EXAMPLES}
+    assert {"quickstart.py", "protection_sweep.py", "fault_injection.py",
+            "divergence_study.py", "pipeline_scenario.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=os.path.basename)
+def test_example_parses_and_has_main(path):
+    with open(path) as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    assert ast.get_docstring(tree), "examples must explain themselves"
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions
+    # The __main__ guard must exist (examples are scripts).
+    has_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert has_guard
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=os.path.basename)
+def test_example_imports_only_public_api(path):
+    """Examples model downstream usage: no private (_-prefixed)
+    attribute access on repro modules."""
+    with open(path) as fh:
+        source = fh.read()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr.startswith("_"):
+            raise AssertionError(
+                f"{os.path.basename(path)} touches private {node.attr}")
+
+
+def test_quickstart_runs_end_to_end():
+    env = dict(os.environ)
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=600, env=env)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "normalized performance" in proc.stdout

@@ -1,0 +1,116 @@
+"""Small-scale unit tests of the experiment functions themselves.
+
+The benchmarks run these at full size and assert paper shapes; here we
+run them at tiny sizes purely to exercise their code paths (data
+structures, table formatting, registry wiring) quickly.
+"""
+
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.analysis.harness import ExperimentHarness, bench_config
+
+TINY = ("vecadd", "pchase")
+
+
+@pytest.fixture(scope="module")
+def tiny_harness():
+    return ExperimentHarness(
+        config=bench_config(num_sms=2, warps_per_sm=2, l2_size_kb=256,
+                            num_slices=2),
+        scale=0.03, seed=5)
+
+
+def test_registry_is_complete():
+    for ident in ("T1", "T2", "T3", "T4", "T5",
+                  "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+                  "F10", "F11", "F12", "F13"):
+        assert (ident in exp.EXPERIMENTS) == (ident != "F10"), ident
+    # F10 lives in its benchmark module (extension), everything else in
+    # the registry.
+
+
+def test_f1_small(tiny_harness):
+    out = exp.f1_performance(harness=tiny_harness, workloads=TINY,
+                             schemes=("none", "cachecraft"))
+    assert out.ident == "F1"
+    assert out.data["perf"]["geomean"]["none"] == 1.0
+    assert "pchase" in out.text
+
+
+def test_f2_small(tiny_harness):
+    out = exp.f2_traffic(harness=tiny_harness, workloads=TINY,
+                         schemes=("none", "cachecraft"))
+    assert out.data["traffic"]["vecadd"]["none"]["metadata"] == 0
+
+
+def test_f3_small(tiny_harness):
+    out = exp.f3_reconstruction(harness=tiny_harness, workloads=TINY)
+    for row in out.data["sources"].values():
+        assert 0 <= row["no_extra_fetch_rate"] <= 1
+
+
+def test_f4_small():
+    out = exp.f4_l2_sweep(workloads=("vecadd",), sizes_kb=(256, 512),
+                          schemes=("cachecraft",), scale=0.03)
+    assert set(out.data["perf"]) == {256, 512}
+
+
+def test_f5_small():
+    out = exp.f5_granule_sweep(workloads=("vecadd",), granules=(128, 256),
+                               scale=0.03)
+    assert out.data["perf"][256]["capacity_overhead"] < \
+        out.data["perf"][128]["capacity_overhead"]
+
+
+def test_f6_small():
+    out = exp.f6_metadata_capacity(workloads=("vecadd",),
+                                   mdc_sizes_kb=(8, 16), scale=0.03)
+    assert "cachecraft" in out.data
+
+
+def test_f7_small():
+    out = exp.f7_ablation(workloads=("vecadd",), scale=0.03)
+    assert "full" in out.data
+    assert all("perf" in row for row in out.data.values())
+
+
+def test_f8_small():
+    out = exp.f8_divergence(densities=(0.5, 1.0), schemes=("cachecraft",),
+                            scale=0.03)
+    assert set(out.data["perf"]) == {0.5, 1.0}
+
+
+def test_f9_small():
+    out = exp.f9_strength(workloads=("vecadd",), codes=("secded", "rs"),
+                          scale=0.03)
+    assert out.data["rs"]["meta_bytes"] > out.data["secded"]["meta_bytes"]
+
+
+def test_f11_small(tiny_harness):
+    out = exp.f11_decomposition(workloads=TINY, harness=tiny_harness)
+    assert "geomean" in out.data["perf"]
+
+
+def test_f12_small():
+    out = exp.f12_interkernel(footprint_mb=1, scale=0.05, seed=3)
+    assert out.data["cachecraft"]["consumer_fill_bytes"] <= \
+        out.data["cachecraft-nodir"]["consumer_fill_bytes"]
+
+
+def test_f13_small():
+    out = exp.f13_policies(workloads=("vecadd",), policies=("lru", "srrip"),
+                           scale=0.03)
+    assert set(out.data["perf"]) == {"lru", "srrip"}
+
+
+def test_t4_small(tiny_harness):
+    out = exp.t4_energy(harness=tiny_harness, workloads=TINY,
+                        schemes=("none", "cachecraft"))
+    assert out.data["none"]["relative_energy"] == 1.0
+
+
+def test_experiment_output_str():
+    out = exp.t1_configuration()
+    text = str(out)
+    assert text.startswith("[T1]")

@@ -1,0 +1,184 @@
+"""Unit tests for the L2 slice (miss handling, grants, stores, flush)."""
+
+import pytest
+
+from repro.dram.channel import MemoryChannel
+from repro.dram.timing import DramTiming
+from repro.gpu.l2slice import L2Slice
+from repro.protection.base import ProtectionContext, make_scheme
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+
+def make_slice(scheme_name="none", size_kb=64, **scheme_kwargs):
+    sim = Simulator()
+    scheme = make_scheme(scheme_name, **scheme_kwargs)
+    layout = scheme.prepare(functional=False)
+    channel = MemoryChannel("d0", sim, DramTiming(refresh_enabled=False))
+    ctx = ProtectionContext(sim, layout, [channel], StatsRegistry(),
+                            sector_bytes=32, line_bytes=128,
+                            slice_chunk_bytes=1024)
+    scheme.bind(ctx)
+    slice_ = L2Slice(0, sim, scheme, size_bytes=size_kb * 1024)
+    ctx.wire_l2(
+        resident_cb=lambda s, line, clean: slice_.resident_mask(line, clean),
+        install_cb=lambda s, line, mask, **kw: slice_.install_sectors(
+            line, mask, **kw))
+    return sim, slice_, scheme, channel
+
+
+class TestLoadPath:
+    def test_miss_then_fill_then_respond(self):
+        sim, sl, _sch, ch = make_slice()
+        got = []
+        sl.receive_load(5, 0b0011, got.append)
+        sim.run()
+        assert got == [0b0011]
+        assert sl.resident_mask(5) == 0b0011
+        assert ch.total_bytes == 64
+
+    def test_hit_responds_without_dram(self):
+        sim, sl, _sch, ch = make_slice()
+        sl.receive_load(5, 0b0001, lambda m: None)
+        sim.run()
+        before = ch.total_bytes
+        got = []
+        sl.receive_load(5, 0b0001, got.append)
+        sim.run()
+        assert got == [0b0001]
+        assert ch.total_bytes == before
+
+    def test_partial_hit_fetches_only_missing(self):
+        sim, sl, _sch, ch = make_slice()
+        sl.receive_load(5, 0b0001, lambda m: None)
+        sim.run()
+        before = ch.total_bytes
+        got = []
+        sl.receive_load(5, 0b0011, got.append)
+        sim.run()
+        assert got == [0b0011]
+        assert ch.total_bytes - before == 32  # one new sector only
+
+    def test_concurrent_same_line_misses_merge(self):
+        sim, sl, _sch, ch = make_slice()
+        got = []
+        sl.receive_load(9, 0b0001, lambda m: got.append(("a", m)))
+        sl.receive_load(9, 0b0001, lambda m: got.append(("b", m)))
+        sim.run()
+        assert ("a", 1) in got and ("b", 1) in got
+        assert ch.total_bytes == 32  # fetched once
+
+    def test_merge_with_additional_sectors(self):
+        sim, sl, _sch, ch = make_slice()
+        got = []
+        sl.receive_load(9, 0b0001, lambda m: got.append(m))
+        sl.receive_load(9, 0b0110, lambda m: got.append(m))
+        sim.run()
+        assert sorted(got) == [0b0001, 0b0110]
+        assert ch.total_bytes == 96  # three sectors total
+
+    def test_mshr_full_retries_until_served(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.mshrs.capacity = 1
+        got = []
+        sl.receive_load(1, 1, lambda m: got.append(1))
+        sl.receive_load(2, 1, lambda m: got.append(2))
+        sl.receive_load(3, 1, lambda m: got.append(3))
+        sim.run()
+        assert sorted(got) == [1, 2, 3]
+        assert sl.stats.flatten()["l2s0.mshr_retries"] >= 1
+
+
+class TestStorePath:
+    def test_store_allocates_dirty_verified(self):
+        sim, sl, _sch, ch = make_slice()
+        acked = []
+        sl.receive_store(7, 0b0101, lambda: acked.append(sim.now))
+        sim.run()
+        assert acked
+        line = sl.cache.probe(7)
+        assert line.dirty_mask == 0b0101
+        assert line.verified_mask & 0b0101 == 0b0101
+        assert ch.total_bytes == 0  # write-back: nothing to DRAM yet
+
+    def test_store_does_not_get_clobbered_by_late_fill(self):
+        sim, sl, _sch, _ch = make_slice()
+        # Start a fetch, then store to the same sector before it lands.
+        sl.receive_load(7, 0b0001, lambda m: None)
+        sl.receive_store(7, 0b0001, lambda: None)
+        sim.run()
+        line = sl.cache.probe(7)
+        assert line.dirty_mask & 0b0001  # the store's data survived
+
+    def test_load_after_store_hits(self):
+        sim, sl, _sch, ch = make_slice()
+        sl.receive_store(7, 0b0001, lambda: None)
+        sim.run()
+        before = ch.total_bytes
+        got = []
+        sl.receive_load(7, 0b0001, got.append)
+        sim.run()
+        assert got == [0b0001]
+        assert ch.total_bytes == before
+
+
+class TestEvictionAndFlush:
+    def test_flush_writes_back_dirty(self):
+        sim, sl, _sch, ch = make_slice()
+        sl.receive_store(3, 0b1111, lambda: None)
+        sim.run()
+        dirty = sl.flush()
+        sim.run()
+        assert dirty == 1
+        assert ch.bytes_by_kind()["writeback"] == 128
+
+    def test_capacity_eviction_triggers_writeback(self):
+        sim, sl, _sch, ch = make_slice(size_kb=4)  # 32 lines total
+        for i in range(80):
+            sl.receive_store(i, 0b1111, lambda: None)
+        sim.run()
+        assert ch.bytes_by_kind()["writeback"] > 0
+
+    def test_install_skips_resident_dirty(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.receive_store(4, 0b0001, lambda: None)
+        sim.run()
+        sl.install_sectors(4, 0b0011)
+        line = sl.cache.probe(4)
+        assert line.dirty_mask == 0b0001  # store not overwritten
+        assert line.valid_mask == 0b0011  # new sector installed
+
+    def test_install_metadata_dirty_flag(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.install_sectors(100, 0b0001, is_metadata=True, dirty=True)
+        line = sl.cache.probe(100)
+        assert line.is_metadata and line.dirty_mask == 0b0001
+
+
+class TestProtectedSlice:
+    def test_inline_sector_fetch_adds_metadata_traffic(self):
+        sim, sl, _sch, ch = make_slice("inline-sector")
+        sl.receive_load(5, 0b0001, lambda m: None)
+        sim.run()
+        kinds = ch.bytes_by_kind()
+        assert kinds["data"] == 32
+        assert kinds["metadata"] == 32
+
+    def test_inline_full_grants_whole_granule(self):
+        sim, sl, _sch, ch = make_slice("inline-full", granule_bytes=128)
+        got = []
+        sl.receive_load(5, 0b0001, got.append)
+        sim.run()
+        assert got == [0b0001]  # the response carries what was asked
+        assert sl.resident_mask(5) == 0b1111  # but the L2 got it all
+        kinds = ch.bytes_by_kind()
+        assert kinds["data"] == 32 and kinds["verify_fill"] == 96
+
+    def test_cachecraft_grants_whole_granule_cold(self):
+        sim, sl, _sch, ch = make_slice("cachecraft", granule_bytes=128)
+        got = []
+        sl.receive_load(5, 0b0010, got.append)
+        sim.run()
+        assert got == [0b0010]
+        assert sl.resident_mask(5) == 0b1111
+        assert ch.bytes_by_kind()["verify_fill"] == 96

@@ -1,0 +1,73 @@
+"""Linearity properties across the code zoo.
+
+The contribution directory and the incremental write path are sound
+exactly for codes where ``check(a XOR b) == check(a) XOR check(b)``.
+These tests pin that property (or its absence) per code, keeping
+``LINEAR_CODES`` honest.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cachecraft import LINEAR_CODES
+from repro.protection.codes import CODE_NAMES, build_code
+
+data16 = st.binary(min_size=16, max_size=16)
+
+LINEAR_INSTANCES = {
+    name: build_code(name, 16, functional=True)[0]
+    for name in CODE_NAMES if name in LINEAR_CODES
+}
+NONLINEAR_INSTANCES = {
+    name: build_code(name, 16, functional=True)[0]
+    for name in CODE_NAMES if name not in LINEAR_CODES
+}
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(data16, data16)
+def test_every_linear_code_is_actually_linear(a, b):
+    for name, code in LINEAR_INSTANCES.items():
+        ca = code.encode(a)
+        cb = code.encode(b)
+        cx = code.encode(_xor(a, b))
+        assert cx == _xor(ca, cb), name
+
+
+def test_nonlinear_codes_are_actually_nonlinear():
+    """A single counterexample suffices (MACs are designed to break
+    linearity)."""
+    a = bytes(range(16))
+    b = bytes(reversed(range(16)))
+    for name, code in NONLINEAR_INSTANCES.items():
+        ca = code.encode(a)
+        cb = code.encode(b)
+        cx = code.encode(_xor(a, b))
+        assert cx != _xor(ca, cb), name
+
+
+def test_linear_codes_have_zero_check_for_zero_data():
+    """Linearity implies check(0) == 0."""
+    zero = bytes(16)
+    for name, code in LINEAR_INSTANCES.items():
+        assert code.encode(zero) == bytes(len(code.encode(zero))), name
+
+
+@settings(max_examples=20, deadline=None)
+@given(data16)
+def test_contribution_decomposition(data):
+    """The directory's actual use: a granule's check equals the XOR of
+    its per-sector contributions (each sector's data padded with
+    zeros)."""
+    for name, code in LINEAR_INSTANCES.items():
+        sector = 4  # 4-byte "sectors" of the 16-byte granule
+        total = bytes(len(code.encode(data)))
+        for off in range(0, 16, sector):
+            padded = bytes(off) + data[off:off + sector] \
+                + bytes(16 - off - sector)
+            total = _xor(total, code.encode(padded))
+        assert total == code.encode(data), name

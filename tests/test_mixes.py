@@ -1,0 +1,71 @@
+"""Unit/integration tests for concurrent-kernel mixes."""
+
+import pytest
+
+from repro.analysis.validation import validate_drained, validate_result
+from repro.core.config import test_config as make_test_config
+from repro.core.system import GpuSystem, run_workload
+from repro.workloads import make_mix, make_workload
+from repro.workloads.base import GenContext
+from repro.workloads.irregular import SpmvCsr
+from repro.workloads.streaming import VecAdd
+
+GEN = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=21)
+
+
+class TestConstruction:
+    def test_registered_mixes(self):
+        for name in ("mix-stream-gather", "mix-compute-scatter"):
+            wl = make_workload(name)
+            assert "mix(" in wl.category
+
+    def test_make_mix_adhoc(self):
+        mix = make_mix(VecAdd(), SpmvCsr())
+        assert mix.first.name == "vecadd"
+        assert mix.second.name == "spmv"
+
+    def test_warp_parity_split(self):
+        mix = make_mix(VecAdd(), SpmvCsr())
+        even = mix.warp_trace(0, 0, GEN)
+        odd = mix.warp_trace(0, 1, GEN)
+        # Members produce their own trace shapes.
+        solo_ctx = mix._member_ctx(GEN)
+        assert even == VecAdd().warp_trace(0, 0, solo_ctx)
+        assert odd == SpmvCsr().warp_trace(0, 0, solo_ctx)
+
+    def test_member_ctx_halves_warps(self):
+        mix = make_mix(VecAdd(), SpmvCsr())
+        member = mix._member_ctx(GEN)
+        assert member.warps_per_sm == GEN.warps_per_sm // 2
+
+
+class TestExecution:
+    @pytest.mark.parametrize("scheme", ["none", "metadata-cache",
+                                        "cachecraft"])
+    def test_mix_runs_and_validates(self, scheme):
+        config = make_test_config().with_scheme(scheme)
+        system = GpuSystem(config)
+        system.load_workload(make_workload("mix-stream-gather"), GEN)
+        cycles = system.run()
+        result = system.result("mix", cycles)
+        assert validate_result(result, config) == []
+        assert validate_drained(system) == []
+
+    def test_mix_interference_is_real(self):
+        """The co-running stream must slow the gather side relative to
+        a half-machine gather running alone — if not, the mix is not
+        actually sharing anything."""
+        config = make_test_config()
+        mix = run_workload(make_workload("mix-stream-gather"), config,
+                           gen_ctx=GEN)
+        half = GenContext(num_sms=2, warps_per_sm=2, scale=0.05, seed=21)
+        alone = run_workload(make_workload("spmv"), config, gen_ctx=half)
+        assert mix.cycles > alone.cycles
+
+    def test_mix_functionally_clean_under_protection(self):
+        config = make_test_config().with_scheme("cachecraft")
+        config = config.with_protection(functional=True)
+        result = run_workload(make_workload("mix-compute-scatter"), config,
+                              gen_ctx=GEN)
+        assert result.stat("decode_due") == 0
+        assert result.stat("decode_corrected") == 0

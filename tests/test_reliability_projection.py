@@ -1,0 +1,104 @@
+"""Unit tests for system-level reliability projection."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    DEFAULT_EVENT_MIX,
+    ReliabilityProjection,
+    compare_codes,
+    project,
+)
+from repro.ecc import HsiaoCode, InterleavedCode, ParityCode, ReedSolomonCode
+
+
+@pytest.fixture(scope="module")
+def hsiao_projection():
+    return project(HsiaoCode(32), capacity_gb=16, trials=400)
+
+
+class TestProjectionBasics:
+    def test_total_event_fit_matches_budget(self, hsiao_projection):
+        # 25 FIT/Mbit * 16 GiB = 25 * 16 * 8 * 1024.
+        expected = 25.0 * 16 * 8 * 1024
+        assert hsiao_projection.total_event_fit == pytest.approx(expected,
+                                                                 rel=1e-6)
+
+    def test_all_components_nonnegative(self, hsiao_projection):
+        assert hsiao_projection.corrected_fit >= 0
+        assert hsiao_projection.due_fit >= 0
+        assert hsiao_projection.sdc_fit >= 0
+
+    def test_secded_corrects_most_events(self, hsiao_projection):
+        # 70% of events are single bits, all corrected.
+        assert hsiao_projection.corrected_fit > \
+            0.69 * hsiao_projection.total_event_fit
+
+    def test_per_event_rates_recorded(self, hsiao_projection):
+        assert set(hsiao_projection.per_event) == set(DEFAULT_EVENT_MIX)
+
+    def test_capacity_scales_linearly(self):
+        small = project(HsiaoCode(16), capacity_gb=8, trials=100)
+        large = project(HsiaoCode(16), capacity_gb=32, trials=100)
+        assert large.total_event_fit == pytest.approx(
+            4 * small.total_event_fit)
+
+    def test_row_rendering(self, hsiao_projection):
+        row = hsiao_projection.as_row()
+        assert row[0].startswith("hsiao")
+        assert len(row) == len(ReliabilityProjection.ROW_HEADERS)
+
+
+class TestCodeOrdering:
+    @pytest.fixture(scope="class")
+    def projections(self):
+        codes = [ParityCode(32, interleave=8), HsiaoCode(32),
+                 InterleavedCode(32, ways=4), ReedSolomonCode(32, 4)]
+        return {p.code_name: p
+                for p in compare_codes(codes, capacity_gb=16, trials=400)}
+
+    def test_symbol_and_interleaved_codes_eliminate_sdc(self, projections):
+        rs = next(v for k, v in projections.items() if k.startswith("rs"))
+        inter = next(v for k, v in projections.items()
+                     if "interleaved" in k)
+        hsiao = next(v for k, v in projections.items()
+                     if k.startswith("hsiao"))
+        assert rs.sdc_fit == 0.0
+        assert inter.sdc_fit == 0.0
+        assert hsiao.sdc_fit > 0.0
+
+    def test_correction_can_be_worse_than_detection(self, projections):
+        """The classic trap (and the point of the authors' GPU-DRAM
+        beam work): monolithic SEC-DED *miscorrects* spatial bursts,
+        so under a burst-heavy event mix its SDC exceeds plain
+        interleaved parity's, which merely detects them."""
+        parity = next(v for k, v in projections.items() if "parity" in k)
+        hsiao = next(v for k, v in projections.items()
+                     if k.startswith("hsiao"))
+        assert hsiao.sdc_fit > parity.sdc_fit
+        assert hsiao.per_event["burst-4"]["sdc_rate"] > 0.2
+
+    def test_interleaving_removes_burst_sdc(self, projections):
+        inter = next(v for k, v in projections.items()
+                     if "interleaved" in k)
+        assert inter.sdc_fit == 0.0
+        assert inter.per_event["burst-4"]["corrected_rate"] == 1.0
+
+    def test_parity_corrects_nothing(self, projections):
+        parity = next(v for k, v in projections.items() if "parity" in k)
+        assert all(rates["corrected_rate"] == 0.0
+                   for rates in parity.per_event.values())
+
+
+class TestValidation:
+    def test_bad_mix_sum_rejected(self):
+        with pytest.raises(ValueError):
+            project(HsiaoCode(16), event_mix={"single-bit": 0.5}, trials=10)
+
+    def test_unknown_event_name_rejected(self):
+        with pytest.raises(ValueError):
+            project(HsiaoCode(16), event_mix={"cosmic-ray": 1.0}, trials=10)
+
+    def test_deterministic_per_seed(self):
+        a = project(HsiaoCode(16), trials=100, seed=5)
+        b = project(HsiaoCode(16), trials=100, seed=5)
+        assert a.sdc_fit == b.sdc_fit

@@ -1,0 +1,86 @@
+"""Unit tests for the report generator and the extended CLI commands."""
+
+import os
+
+import pytest
+
+from repro.analysis.report import EXPERIMENT_INDEX, build_report, coverage, load_sections
+from repro.cli import main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "T1.txt").write_text("[T1] System configuration\ntable body\n")
+    (d / "F1.txt").write_text("[F1] Normalized performance\nseries body\n")
+    return str(d)
+
+
+class TestReport:
+    def test_index_covers_all_experiments(self):
+        idents = [i for i, _t, _c in EXPERIMENT_INDEX]
+        assert idents[0] == "T1"
+        assert "F11" in idents
+        assert len(idents) == len(set(idents))
+
+    def test_sections_mark_missing(self, results_dir):
+        sections = load_sections(results_dir)
+        by_id = {s.ident: s for s in sections}
+        assert by_id["T1"].body is not None
+        assert by_id["T5"].body is None
+
+    def test_build_report_contains_bodies_and_placeholders(self, results_dir):
+        text = build_report(results_dir)
+        assert "table body" in text
+        assert "no result file" in text
+        assert text.count("## ") == len(EXPERIMENT_INDEX)
+
+    def test_coverage(self, results_dir):
+        cov = coverage(results_dir)
+        assert cov["T1"] and cov["F1"]
+        assert not cov["F9"]
+
+    def test_custom_header(self, results_dir):
+        text = build_report(results_dir, header="# My Header")
+        assert text.startswith("# My Header")
+
+
+class TestCliExtensions:
+    def test_report_command_to_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(["report", "--results-dir", results_dir,
+                   "-o", str(out)])
+        assert rc == 0
+        assert os.path.exists(out)
+        assert "table body" in out.read_text()
+
+    def test_report_command_stdout(self, results_dir, capsys):
+        assert main(["report", "--results-dir", results_dir]) == 0
+        assert "T1" in capsys.readouterr().out
+
+    def test_faults_command(self, capsys):
+        rc = main(["faults", "--code", "secded", "--granule", "16",
+                   "--trials", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "single-bit" in out and "chip-8b" in out
+
+    def test_faults_interleaved_code(self, capsys):
+        rc = main(["faults", "--code", "interleaved", "--granule", "32",
+                   "--trials", "30"])
+        assert rc == 0
+        assert "interleaved" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        rc = main(["sweep", "granule", "-w", "vecadd", "-s", "cachecraft",
+                   "--values", "128", "--scale", "0.03"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "granule sweep" in out
+
+    def test_sweep_sector_l2_scheme(self, capsys):
+        rc = main(["sweep", "l2", "-w", "vecadd", "-s", "sector-l2",
+                   "--values", "512", "--scale", "0.03"])
+        assert rc == 0
+        assert "sector-l2" in capsys.readouterr().out

@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "late")
+    sim.schedule(5, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == 10
+
+
+def test_same_cycle_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(20):
+        sim.schedule(3, fired.append, tag)
+    sim.run()
+    assert fired == list(range(20))
+
+
+def test_zero_delay_runs_after_queued_same_cycle_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0, fired.append, "first")
+
+    def nested():
+        fired.append("second")
+        sim.schedule(0, fired.append, "third")
+
+    sim.schedule(0, nested)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(42, fired.append, "x")
+    sim.run()
+    assert sim.now == 42 and fired == ["x"]
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: sim.schedule_at(5, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "a")
+    sim.schedule(50, fired.append, "b")
+    sim.run(until=10)
+    assert fired == ["a"]
+    assert sim.now == 10
+    assert sim.pending() == 1
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_time_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_max_events_guard_trips_on_livelock():
+    sim = Simulator()
+
+    def respawn():
+        sim.schedule(0, respawn)
+
+    sim.schedule(0, respawn)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=1000)
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 7
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, 1)
+    sim.schedule(2, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(2, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 10
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, bad)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for bandwidth ports, pipelines, and occupancy limiters."""
+
+import pytest
+
+from repro.sim.resources import BandwidthPort, OccupancyLimiter, PipelinedResource
+
+
+class TestBandwidthPort:
+    def test_idle_port_serves_immediately(self):
+        port = BandwidthPort("p", 2.0)
+        assert port.request(now=10) == 12
+
+    def test_busy_port_queues(self):
+        port = BandwidthPort("p", 2.0)
+        assert port.request(0) == 2
+        assert port.request(0) == 4
+        assert port.request(1) == 6
+
+    def test_multi_packet_request(self):
+        port = BandwidthPort("p", 2.0)
+        assert port.request(0, packets=5) == 10
+
+    def test_fractional_rate_averages_exactly(self):
+        port = BandwidthPort("p", 1.5)
+        # 100 back-to-back packets should finish at ceil(150).
+        end = 0
+        for _ in range(100):
+            end = port.request(0)
+        assert end == 150
+
+    def test_idle_gap_resets_service_start(self):
+        port = BandwidthPort("p", 2.0)
+        port.request(0)
+        assert port.request(100) == 102
+
+    def test_next_free_reports_earliest_start(self):
+        port = BandwidthPort("p", 4.0)
+        port.request(0)
+        assert port.next_free(0) == 4
+        assert port.next_free(10) == 10
+
+    def test_statistics_accumulate(self):
+        port = BandwidthPort("p", 2.0)
+        port.request(0, packets=3)
+        port.request(0)
+        assert port.packets.value == 4
+        assert port.busy_cycles.value == 8
+        assert port.queue_cycles.value == 6
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthPort("p", 0)
+
+
+class TestPipelinedResource:
+    def test_latency_applied(self):
+        pipe = PipelinedResource("p", interval=1, latency=10)
+        assert pipe.issue(5) == 15
+
+    def test_initiation_interval_spaces_issues(self):
+        pipe = PipelinedResource("p", interval=4, latency=10)
+        assert pipe.issue(0) == 10
+        assert pipe.issue(0) == 14
+        assert pipe.issue(0) == 18
+
+    def test_idle_resource_issues_immediately(self):
+        pipe = PipelinedResource("p", interval=4, latency=1)
+        pipe.issue(0)
+        assert pipe.issue(100) == 101
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PipelinedResource("p", interval=0)
+        with pytest.raises(ValueError):
+            PipelinedResource("p", latency=-1)
+
+
+class TestOccupancyLimiter:
+    def test_acquire_until_full(self):
+        lim = OccupancyLimiter("l", 3)
+        assert lim.try_acquire() and lim.try_acquire() and lim.try_acquire()
+        assert not lim.try_acquire()
+        assert lim.full_rejections.value == 1
+
+    def test_release_frees_capacity(self):
+        lim = OccupancyLimiter("l", 1)
+        assert lim.try_acquire()
+        lim.release()
+        assert lim.try_acquire()
+
+    def test_bulk_acquire(self):
+        lim = OccupancyLimiter("l", 4)
+        assert lim.try_acquire(3)
+        assert not lim.try_acquire(2)
+        assert lim.try_acquire(1)
+
+    def test_peak_tracking(self):
+        lim = OccupancyLimiter("l", 8)
+        lim.try_acquire(5)
+        lim.release(3)
+        lim.try_acquire(1)
+        assert lim.peak == 5
+
+    def test_over_release_raises(self):
+        lim = OccupancyLimiter("l", 2)
+        lim.try_acquire()
+        with pytest.raises(RuntimeError):
+            lim.release(2)
+
+    def test_available(self):
+        lim = OccupancyLimiter("l", 5)
+        lim.try_acquire(2)
+        assert lim.available() == 3

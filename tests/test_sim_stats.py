@@ -1,0 +1,110 @@
+"""Unit tests for statistics primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatGroup, StatsRegistry
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        c = Counter("c")
+        c.add()
+        c.add(5)
+        assert c.value == 6
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("h", [10, 100])
+        h.record(5)
+        h.record(50)
+        h.record(500)
+        assert h.buckets == [1, 1, 1]
+
+    def test_boundary_goes_to_upper_bucket(self):
+        h = Histogram("h", [10])
+        h.record(10)
+        assert h.buckets == [0, 1]
+
+    def test_mean_min_max(self):
+        h = Histogram("h", [100])
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.mean == 20
+        assert h.min == 10 and h.max == 30
+
+    def test_weighted_record(self):
+        h = Histogram("h", [100])
+        h.record(10, weight=4)
+        assert h.count == 4
+        assert h.mean == 10
+
+    def test_percentile_monotone(self):
+        h = Histogram("h", [10, 20, 40, 80])
+        for v in range(0, 80, 2):
+            h.record(v)
+        assert h.percentile(0.1) <= h.percentile(0.5) <= h.percentile(0.9)
+
+    def test_empty_histogram(self):
+        h = Histogram("h", [10])
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+        assert math.isinf(h.min)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [10, 5])
+
+    def test_reset(self):
+        h = Histogram("h", [10])
+        h.record(3)
+        h.reset()
+        assert h.count == 0 and h.buckets == [0, 0]
+
+
+class TestStatGroup:
+    def test_flatten_nested(self):
+        root = StatsRegistry()
+        a = root.child("a")
+        a.counter("x").add(3)
+        b = a.child("b")
+        b.counter("y").add(4)
+        flat = root.flatten()
+        assert flat["a.x"] == 3
+        assert flat["a.b.y"] == 4
+
+    def test_histogram_flattens_to_count_and_mean(self):
+        root = StatsRegistry()
+        h = root.child("g").histogram("lat", [10])
+        h.record(4)
+        h.record(8)
+        flat = root.flatten()
+        assert flat["g.lat.count"] == 2
+        assert flat["g.lat.mean"] == 6
+
+    def test_duplicate_stat_rejected(self):
+        g = StatGroup("g")
+        g.counter("x")
+        with pytest.raises(ValueError):
+            g.counter("x")
+
+    def test_child_is_memoized(self):
+        g = StatGroup("g")
+        assert g.child("c") is g.child("c")
+
+    def test_reset_recurses(self):
+        root = StatsRegistry()
+        c = root.child("a").counter("x")
+        c.add(5)
+        root.reset()
+        assert c.value == 0
+
+    def test_iteration(self):
+        g = StatGroup("g")
+        g.counter("a")
+        g.counter("b")
+        assert sorted(s.name for s in g) == ["a", "b"]

@@ -1,0 +1,151 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.analysis.characterize import profile_workload
+from repro.gpu.trace import ComputeOp, MemoryOp, validate_trace
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.base import (
+    WORKLOAD_REGISTRY,
+    GenContext,
+    array_layout,
+)
+
+CTX = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=9)
+
+
+class TestRegistry:
+    def test_all_suite_workloads_registered(self):
+        for name in WORKLOADS:
+            assert name in WORKLOAD_REGISTRY
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            make_workload("miner")
+
+    def test_params_forwarded(self):
+        wl = make_workload("divergence", density=0.5)
+        assert wl.params["density"] == 0.5
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestEveryWorkload:
+    def test_traces_are_valid(self, name):
+        wl = make_workload(name)
+        ops = wl.warp_trace(0, 0, CTX)
+        assert len(ops) > 0
+        validate_trace(ops)
+
+    def test_traces_deterministic(self, name):
+        wl = make_workload(name)
+        a = wl.warp_trace(1, 2, CTX)
+        b = make_workload(name).warp_trace(1, 2, CTX)
+        assert a == b
+
+    def test_warps_differ(self, name):
+        wl = make_workload(name)
+        a = wl.warp_trace(0, 0, CTX)
+        b = wl.warp_trace(0, 1, CTX)
+        assert a != b
+
+    def test_contains_memory_ops(self, name):
+        wl = make_workload(name)
+        ops = wl.warp_trace(0, 0, CTX)
+        assert any(isinstance(op, MemoryOp) for op in ops)
+
+    def test_build_covers_machine(self, name):
+        wl = make_workload(name)
+        traces = wl.build(CTX)
+        assert len(traces) == CTX.num_sms
+        assert all(len(per_sm) == CTX.warps_per_sm for per_sm in traces)
+
+
+class TestCharacterizationShapes:
+    """The intrinsic properties that make each archetype what it is."""
+
+    def _profile(self, name, **params):
+        return profile_workload(make_workload(name, **params), CTX)
+
+    def test_streaming_is_coalesced(self):
+        prof = self._profile("vecadd")
+        assert prof.lines_per_op < 2.0
+        assert prof.sectors_per_granule > 3.0
+
+    def test_pchase_is_divergent_and_sparse(self):
+        prof = self._profile("pchase")
+        assert prof.lines_per_op > 16
+        assert prof.sectors_per_granule < 2.0
+
+    def test_spmv_between_extremes(self):
+        stream = self._profile("vecadd")
+        chase = self._profile("pchase")
+        spmv = self._profile("spmv")
+        assert stream.lines_per_op < spmv.lines_per_op < chase.lines_per_op
+
+    def test_transpose_writes_divergent(self):
+        prof = self._profile("transpose")
+        assert prof.store_fraction > 0.2
+
+    def test_histogram_mixes_reads_and_writes(self):
+        prof = self._profile("histogram")
+        assert 0.2 < prof.store_fraction < 0.6
+
+    def test_gemm_is_compute_heavy(self):
+        gemm = self._profile("gemm")
+        vec = self._profile("vecadd")
+        assert gemm.compute_per_memop > vec.compute_per_memop
+
+    def test_footprints_positive(self):
+        for name in WORKLOADS:
+            assert self._profile(name).footprint_mb > 0
+
+
+class TestDivergenceSweep:
+    def test_density_controls_sectors_per_granule(self):
+        low = profile_workload(make_workload("divergence", density=0.25), CTX)
+        high = profile_workload(make_workload("divergence", density=1.0), CTX)
+        assert low.sectors_per_granule < high.sectors_per_granule
+        assert high.sectors_per_granule > 3.0
+
+    def test_invalid_density(self):
+        wl = make_workload("divergence", density=0.0)
+        with pytest.raises(ValueError):
+            wl.warp_trace(0, 0, CTX)
+
+    def test_uniform_random_write_fraction(self):
+        wl = make_workload("uniform-random", write_fraction=0.5)
+        ops = wl.warp_trace(0, 0, CTX)
+        stores = sum(1 for op in ops
+                     if isinstance(op, MemoryOp) and op.is_store)
+        loads = sum(1 for op in ops
+                    if isinstance(op, MemoryOp) and not op.is_store)
+        assert stores > 0 and loads > 0
+
+
+class TestHelpers:
+    def test_array_layout_alignment_and_order(self):
+        bases = array_layout([100, 200, 300], align=4096)
+        assert all(b % 4096 == 0 for b in bases)
+        assert bases[0] < bases[1] < bases[2]
+        assert bases[1] >= bases[0] + 100
+
+    def test_scaled_minimum(self):
+        ctx = GenContext(scale=0.001)
+        assert ctx.scaled(100, minimum=8) == 8
+
+    def test_warp_rng_independent(self):
+        ctx = GenContext(seed=1)
+        a = ctx.warp_rng("x", 0, 0).random()
+        b = ctx.warp_rng("x", 0, 1).random()
+        assert a != b
+
+    def test_coalesced_helper(self):
+        from repro.workloads.base import Workload
+        op = Workload.coalesced(1000, 0, 4, 4)
+        assert op.addresses == (1000, 1004, 1008, 1012)
+
+    def test_gathered_helper(self):
+        from repro.workloads.base import Workload
+        op = Workload.gathered(0, [5, 1], 8, is_store=True)
+        assert op.addresses == (40, 8)
+        assert op.is_store

@@ -1,0 +1,72 @@
+"""Unit tests for the scientific extra workloads (fft, nbody, kmeans)."""
+
+import pytest
+
+from repro.analysis.characterize import profile_workload
+from repro.core.config import test_config as make_test_config
+from repro.core.system import run_workload
+from repro.gpu.trace import MemoryOp, validate_trace
+from repro.workloads import EXTRA_WORKLOADS, make_workload
+from repro.workloads.base import GenContext
+
+CTX = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=9)
+
+SCIENTIFIC = ("fft", "nbody", "kmeans")
+
+
+@pytest.mark.parametrize("name", SCIENTIFIC)
+class TestBasics:
+    def test_registered_as_extra(self, name):
+        assert name in EXTRA_WORKLOADS
+
+    def test_traces_valid_and_deterministic(self, name):
+        wl = make_workload(name)
+        ops = wl.warp_trace(0, 0, CTX)
+        validate_trace(ops)
+        assert ops == make_workload(name).warp_trace(0, 0, CTX)
+
+    def test_contains_loads_and_runs(self, name):
+        wl = make_workload(name)
+        ops = wl.warp_trace(0, 0, CTX)
+        assert any(isinstance(op, MemoryOp) and not op.is_store
+                   for op in ops)
+
+    def test_simulates_under_cachecraft(self, name):
+        cfg = make_test_config().with_scheme("cachecraft")
+        gen = GenContext(num_sms=2, warps_per_sm=2, scale=0.03, seed=2)
+        result = run_workload(make_workload(name), cfg, gen_ctx=gen)
+        assert result.cycles > 0
+
+
+class TestShapes:
+    def test_fft_stage_mix_varies_access_shape(self):
+        """Early stages pair adjacent elements (stride-2 interleaved
+        reads, more lines per op); late stages read contiguous runs —
+        the stage mix must change the access shape."""
+        early = profile_workload(make_workload("fft", stages=1), CTX)
+        mixed = profile_workload(make_workload("fft", stages=10), CTX)
+        assert early.lines_per_op != mixed.lines_per_op
+        assert early.lines_per_op > 2.0  # interleaved pairs span lines
+
+    def test_nbody_is_read_broadcast(self):
+        # At tiny test scale the single force store weighs more than it
+        # would at full scale (30+ tiles per store); stay loose.
+        prof = profile_workload(make_workload("nbody"), CTX)
+        assert prof.store_fraction < 0.35
+        # Broadcast reuse: tiny footprint relative to memory op volume.
+        assert prof.footprint_mb < 2.0
+
+    def test_nbody_protection_nearly_free(self):
+        """All reuse lives in L2: CacheCraft should be within a few
+        percent of unprotected."""
+        cfg = make_test_config()
+        gen = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=2)
+        base = run_workload(make_workload("nbody"), cfg, gen_ctx=gen)
+        prot = run_workload(make_workload("nbody"),
+                            cfg.with_scheme("cachecraft"), gen_ctx=gen)
+        assert prot.performance_vs(base) > 0.9
+
+    def test_kmeans_mixes_streams_and_rmw(self):
+        prof = profile_workload(make_workload("kmeans"), CTX)
+        assert 0.1 < prof.store_fraction < 0.5
+        assert prof.compute_per_memop > 1.0
