@@ -11,7 +11,7 @@ cached per (workload, scheme, config) within a process.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import ALL_SCHEMES, SystemConfig
 from repro.core.results import RunResult
@@ -49,11 +49,15 @@ class ExperimentHarness:
 
     def __init__(self, config: Optional[SystemConfig] = None,
                  scale: float = 0.3, seed: int = 42,
-                 workload_params: Optional[Dict[str, dict]] = None):
+                 workload_params: Optional[Dict[str, dict]] = None,
+                 obs_factory: Optional[Callable[[str, str], object]] = None):
         self.config = config or bench_config()
         self.scale = scale
         self.seed = seed
         self.workload_params = workload_params or {}
+        #: Optional ``(workload, scheme) -> Observability`` hook; each
+        #: uncached run gets its own hub (hubs bind to one system).
+        self.obs_factory = obs_factory
         self._cache: Dict[Tuple, RunResult] = {}
 
     def _gen_ctx(self, config: SystemConfig) -> GenContext:
@@ -73,8 +77,9 @@ class ExperimentHarness:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        obs = self.obs_factory(workload, scheme) if self.obs_factory else None
         result = run_workload(self._build_workload(workload), cfg,
-                              gen_ctx=self._gen_ctx(cfg))
+                              gen_ctx=self._gen_ctx(cfg), obs=obs)
         self._cache[key] = result
         return result
 
@@ -108,13 +113,18 @@ class ExperimentHarness:
 def compare_schemes(workload: str,
                     schemes: Sequence[str] = ALL_SCHEMES,
                     config: Optional[SystemConfig] = None,
-                    scale: float = 0.3, seed: int = 42) -> List[dict]:
+                    scale: float = 0.3, seed: int = 42,
+                    obs_factory: Optional[Callable[[str, str], object]] = None
+                    ) -> List[dict]:
     """One-call scheme comparison for a single workload.
 
     Returns a list of row dicts (scheme, norm_perf, cycles, dram_bytes,
     overhead_bytes) normalized to the first scheme in ``schemes``.
+    ``obs_factory`` (``(workload, scheme) -> Observability``) lets the
+    caller observe each per-scheme run independently.
     """
-    harness = ExperimentHarness(config=config, scale=scale, seed=seed)
+    harness = ExperimentHarness(config=config, scale=scale, seed=seed,
+                                obs_factory=obs_factory)
     results = [harness.run(workload, scheme) for scheme in schemes]
     base = results[0]
     rows = []

@@ -5,6 +5,8 @@ Subcommands:
 * ``run`` — simulate one workload under one scheme (``--json`` for
   tooling; prints a bottleneck classification);
 * ``compare`` — compare all schemes on one workload;
+* ``profile`` — latency-breakdown and hottest-components report for
+  one workload/scheme (see docs/OBSERVABILITY.md);
 * ``experiment`` — regenerate one of the reproduced tables/figures;
 * ``sweep`` — one-parameter sensitivity sweep (l2/granule/mdcache);
 * ``faults`` — fault-injection coverage campaign for any code;
@@ -24,8 +26,65 @@ from repro.analysis.harness import bench_config, bench_gen_ctx, compare_schemes
 from repro.analysis.tables import format_table
 from repro.core.config import ALL_SCHEMES
 from repro.core.system import run_workload
+from repro.obs.hub import Observability, make_observability
 from repro.workloads import WORKLOADS, make_workload
 from repro.workloads.base import WORKLOAD_REGISTRY
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by run/compare/profile."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write a Chrome-trace JSON of the run "
+                            "(load in Perfetto / chrome://tracing)")
+    group.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write sampled time-series metrics "
+                            "(.csv for CSV, anything else JSON lines)")
+    group.add_argument("--sample-interval", type=int, default=1000,
+                       metavar="CYCLES",
+                       help="metrics sampling window (default 1000)")
+    group.add_argument("--trace-categories", default=None,
+                       metavar="CATS",
+                       help="comma-separated trace categories "
+                            "(sm,l2,mdcache,dram; default all)")
+
+
+def _make_obs(args: argparse.Namespace,
+              attribute_latency: bool = False) -> Observability:
+    try:
+        return make_observability(
+            trace_out=args.trace_out, metrics_out=args.metrics_out,
+            sample_interval=args.sample_interval,
+            trace_categories=args.trace_categories,
+            attribute_latency=attribute_latency)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _export_obs(obs: Observability, trace_out, metrics_out) -> None:
+    """Write whatever the hub collected to the requested files."""
+    if trace_out and obs.tracer.enabled:
+        obs.tracer.export(trace_out)
+        dropped = getattr(obs.tracer, "dropped", 0)
+        note = f" ({dropped} events dropped)" if dropped else ""
+        print(f"wrote trace to {trace_out}{note}")
+    if metrics_out and obs.sampler is not None:
+        with open(metrics_out, "w", newline="") as fh:
+            if str(metrics_out).endswith(".csv"):
+                obs.sampler.to_csv(fh)
+            else:
+                obs.sampler.to_jsonl(fh)
+        print(f"wrote {len(obs.sampler.samples)} metric windows "
+              f"to {metrics_out}")
+
+
+def _scheme_path(path: str, scheme: str) -> str:
+    """Insert a scheme tag before the extension (``t.json`` ->
+    ``t.cachecraft.json``) for per-scheme compare outputs."""
+    import os
+
+    stem, ext = os.path.splitext(path)
+    return f"{stem}.{scheme}{ext}"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run real ECC decode over a functional store")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
+    _add_obs_args(run_p)
 
     trace_p = sub.add_parser("trace",
                              help="dump a workload's warp traces to a "
@@ -64,6 +124,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(WORKLOAD_REGISTRY))
     cmp_p.add_argument("--scale", type=float, default=0.3)
     cmp_p.add_argument("--seed", type=int, default=42)
+    _add_obs_args(cmp_p)
+
+    prof_p = sub.add_parser(
+        "profile", help="latency breakdown + hottest components")
+    prof_p.add_argument("--workload", "-w", default="spmv",
+                        choices=sorted(WORKLOAD_REGISTRY))
+    prof_p.add_argument("--scheme", "-s", default="cachecraft",
+                        choices=ALL_SCHEMES)
+    prof_p.add_argument("--scale", type=float, default=0.3)
+    prof_p.add_argument("--seed", type=int, default=42)
+    prof_p.add_argument("--l2-kb", type=int, default=1024)
+    prof_p.add_argument("--granule", type=int, default=128)
+    prof_p.add_argument("--code", default="secded")
+    prof_p.add_argument("--top", type=int, default=8,
+                        help="hottest components to show (default 8)")
+    _add_obs_args(prof_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("ident", choices=sorted(EXPERIMENTS),
@@ -102,8 +178,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scheme=args.scheme, granule_bytes=args.granule,
         code_name=args.code, functional=args.functional)
     gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
+    obs = _make_obs(args)
     result = run_workload(make_workload(args.workload), config,
-                          gen_ctx=gen_ctx)
+                          gen_ctx=gen_ctx, obs=obs)
+    _export_obs(obs, args.trace_out, args.metrics_out)
     if args.json:
         print(result.to_json())
         return 0
@@ -130,12 +208,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed)
+    observers = {}
+    obs_factory = None
+    if args.trace_out or args.metrics_out:
+        def obs_factory(_workload: str, scheme: str) -> Observability:
+            obs = _make_obs(args)
+            observers[scheme] = obs
+            return obs
+    rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed,
+                           obs_factory=obs_factory)
     table = [[r["scheme"], r["norm_perf"], r["cycles"], r["dram_bytes"],
               r["overhead_bytes"]] for r in rows]
     print(format_table(
         ["scheme", "norm perf", "cycles", "DRAM bytes", "overhead bytes"],
         table, title=f"scheme comparison: {args.workload}"))
+    for scheme, obs in observers.items():
+        _export_obs(
+            obs,
+            _scheme_path(args.trace_out, scheme) if args.trace_out else None,
+            _scheme_path(args.metrics_out, scheme)
+            if args.metrics_out else None)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import check_breakdown_sums, render_profile
+
+    config = bench_config(l2_size_kb=args.l2_kb).with_protection(
+        scheme=args.scheme, granule_bytes=args.granule, code_name=args.code)
+    gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
+    obs = _make_obs(args, attribute_latency=True)
+    result = run_workload(make_workload(args.workload), config,
+                          gen_ctx=gen_ctx, obs=obs)
+    print(render_profile(result, k=args.top))
+    if not check_breakdown_sums(result.latency):
+        print("warning: latency components do not sum to the total "
+              "(attribution bug)", file=sys.stderr)
+        return 1
+    _export_obs(obs, args.trace_out, args.metrics_out)
     return 0
 
 
@@ -236,6 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "sweep":

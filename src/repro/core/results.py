@@ -23,6 +23,10 @@ class RunResult:
     sram_overhead_bytes: int = 0
     #: Wall-clock seconds the simulation took (host side).
     host_seconds: float = 0.0
+    #: Per-request latency attribution (populated only when the run was
+    #: observed with ``attribute_latency=True``; see
+    #: :meth:`repro.obs.latency.LatencyAttributor.breakdown`).
+    latency: Dict[str, float] = field(default_factory=dict)
     config_summary: Dict[str, object] = field(default_factory=dict)
 
     # -- derived metrics ------------------------------------------------------
@@ -92,6 +96,8 @@ class RunResult:
             "l1_hit_rate": self.l1_hit_rate(),
             "l2_hit_rate": self.l2_hit_rate(),
         }
+        if self.latency:
+            payload["latency"] = self.latency
         if include_stats:
             payload["stats"] = self.stats
         return json.dumps(payload, indent=2, sort_keys=True)

@@ -19,6 +19,7 @@ from repro.dram.channel import MemoryChannel
 from repro.gpu.crossbar import Crossbar
 from repro.gpu.l2slice import L2Slice
 from repro.gpu.sm import StreamingMultiprocessor
+from repro.obs.hub import OBS_OFF, Observability
 from repro.protection.base import ProtectionContext, make_scheme
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
@@ -26,13 +27,23 @@ from repro.workloads.base import GenContext, Workload
 
 
 class GpuSystem:
-    """A fully-wired simulated GPU ready to run one workload."""
+    """A fully-wired simulated GPU ready to run one workload.
 
-    def __init__(self, config: SystemConfig):
+    ``obs`` is an optional :class:`~repro.obs.hub.Observability` hub;
+    the default shared :data:`~repro.obs.hub.OBS_OFF` disables every
+    observer at near-zero cost.
+    """
+
+    def __init__(self, config: SystemConfig,
+                 obs: Optional[Observability] = None):
         self.config = config
         gpu = config.gpu
         self.sim = Simulator()
         self.stats = StatsRegistry()
+        self.obs = obs if obs is not None else OBS_OFF
+        # Attach before building components: they cache the attributor
+        # and per-category tracer answers at construction time.
+        self.obs.attach(self.sim, self.stats)
 
         # Protection scheme + layout come first: the layout decides the
         # metadata geometry everything downstream uses.
@@ -52,7 +63,8 @@ class GpuSystem:
 
         self.channels: List[MemoryChannel] = [
             MemoryChannel(f"dram{i}", self.sim, gpu.dram, stats=self.stats,
-                          atom_bytes=gpu.sector_bytes)
+                          atom_bytes=gpu.sector_bytes,
+                          tracer=self.obs.tracer)
             for i in range(gpu.num_slices)
         ]
 
@@ -63,6 +75,7 @@ class GpuSystem:
             slice_chunk_bytes=gpu.slice_chunk_bytes,
             functional=self.functional,
             ecc_check_latency=gpu.ecc_check_latency,
+            obs=self.obs,
         )
         self.scheme.bind(self.ctx)
 
@@ -72,7 +85,7 @@ class GpuSystem:
                     line_bytes=gpu.line_bytes, sector_bytes=gpu.sector_bytes,
                     latency=gpu.l2_latency, mshr_entries=gpu.l2_mshr_entries,
                     policy=gpu.l2_policy, stats=self.stats,
-                    metadata_ways=gpu.l2_metadata_ways)
+                    metadata_ways=gpu.l2_metadata_ways, obs=self.obs)
             for i in range(gpu.num_slices)
         ]
         self.ctx.wire_l2(
@@ -101,7 +114,7 @@ class GpuSystem:
                 l1_latency=gpu.l1_latency,
                 l1_mshr_entries=gpu.l1_mshr_entries,
                 store_buffer=gpu.store_buffer, stats=self.stats,
-                scheduler=gpu.warp_scheduler)
+                scheduler=gpu.warp_scheduler, obs=self.obs)
             for i in range(gpu.num_sms)
         ]
 
@@ -127,6 +140,7 @@ class GpuSystem:
 
         Returns total simulated cycles.
         """
+        self.obs.start()
         for sm in self.sms:
             sm.start()
         self.sim.run(max_events=max_events)
@@ -139,6 +153,7 @@ class GpuSystem:
                 sl.flush()
             self.scheme.drain()
             self.sim.run(max_events=max_events)
+        self.obs.finish()
         return max(kernel_cycles, self.sim.now)
 
     # -- reporting --------------------------------------------------------------------
@@ -153,6 +168,8 @@ class GpuSystem:
     def result(self, workload_name: str, cycles: int,
                host_seconds: float = 0.0) -> RunResult:
         gpu = self.config.gpu
+        latency = (self.obs.latency.breakdown()
+                   if self.obs.latency is not None else {})
         return RunResult(
             workload=workload_name,
             scheme=self.config.protection.scheme,
@@ -162,6 +179,7 @@ class GpuSystem:
             storage_overhead=self.scheme.storage_overhead(),
             sram_overhead_bytes=self.scheme.sram_overhead_bytes(),
             host_seconds=host_seconds,
+            latency=latency,
             config_summary={
                 "num_sms": gpu.num_sms,
                 "l2_kb": gpu.l2_size_kb,
@@ -174,9 +192,10 @@ class GpuSystem:
 
 def run_workload(workload: Workload, config: SystemConfig,
                  gen_ctx: Optional[GenContext] = None,
-                 max_events: Optional[int] = None) -> RunResult:
+                 max_events: Optional[int] = None,
+                 obs: Optional[Observability] = None) -> RunResult:
     """Build a system, run one workload, return its :class:`RunResult`."""
-    system = GpuSystem(config)
+    system = GpuSystem(config, obs=obs)
     system.load_workload(workload, gen_ctx)
     started = time.perf_counter()
     cycles = system.run(max_events=max_events)

@@ -80,11 +80,17 @@ class MemoryChannel:
     WRITE_LO = 8
 
     def __init__(self, name: str, sim: Simulator, timing: DramTiming,
-                 stats: Optional[StatGroup] = None, atom_bytes: int = 32):
+                 stats: Optional[StatGroup] = None, atom_bytes: int = 32,
+                 tracer=None):
         self.name = name
         self.sim = sim
         self.timing = timing
         self.atom_bytes = atom_bytes
+        self._tracer = tracer
+        #: Cached per-category answer so the disabled path is one load.
+        self._trace_dram = tracer is not None and tracer.wants("dram")
+        self._trace_tid = int(name[4:]) if name.startswith("dram") \
+            and name[4:].isdigit() else 0
         self.mapping = AddressMapping(timing.banks, timing.row_bytes)
         self._banks = [_Bank() for _ in range(timing.banks)]
         self._read_q: List[DramRequest] = []
@@ -104,6 +110,12 @@ class MemoryChannel:
         self._refreshes = group.counter("refreshes")
         self._queue_latency = group.histogram(
             "read_latency", [50, 100, 200, 400, 800, 1600])
+        #: Cycles the shared data bus spent transferring (utilization
+        #: numerator for the sampler and the profile report).
+        self._busy = group.counter("bus_busy_cycles")
+        #: Last-observed queue depths (occupancy-style, hence gauges).
+        self._read_depth = group.gauge("read_queue_depth")
+        self._write_depth = group.gauge("write_queue_depth")
         self._bytes_by_kind: Dict[RequestKind, int] = {k: 0 for k in RequestKind}
 
     # -- public interface ---------------------------------------------------
@@ -115,6 +127,8 @@ class MemoryChannel:
         request.bank = frame % self.timing.banks
         request.row = frame // self.timing.banks
         (self._write_q if request.is_write else self._read_q).append(request)
+        self._read_depth.set(len(self._read_q))
+        self._write_depth.set(len(self._write_q))
         self._bytes_by_kind[request.kind] += request.atoms * self.atom_bytes
         if request.is_write:
             self._writes.add(request.atoms)
@@ -224,6 +238,15 @@ class MemoryChannel:
         data_start = max(data_start, self._bus_free_at)
         data_end = data_start + t.t_burst * req.atoms
         self._bus_free_at = data_end
+        self._busy.add(data_end - data_start)
+        self._read_depth.set(len(self._read_q))
+        self._write_depth.set(len(self._write_q))
+        if self._trace_dram:
+            self._tracer.complete(
+                "dram", req.kind.value, req.enqueue_time,
+                data_end - req.enqueue_time, tid=self._trace_tid,
+                args={"bank": req.bank, "row": req.row, "atoms": req.atoms,
+                      "write": req.is_write})
         # Column commands pipeline at t_CCD (~ the burst time): the bank
         # can accept its next command one burst after this CAS.  Writes
         # additionally observe write recovery before the row may close.

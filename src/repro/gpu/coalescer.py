@@ -32,6 +32,19 @@ def coalesce(addresses: Iterable[int], line_bytes: int = 128,
     return sorted(lines.items())
 
 
+def coalesce_summary(transactions: List[Tuple[int, int]]) -> Dict[str, int]:
+    """Summarize a coalesced transaction list for trace annotations.
+
+    Works on :func:`coalesce` output (no address re-scan): the line and
+    sector counts quantify an access's divergence — 1 line / 4 sectors
+    is fully coalesced, 32 lines / 32 sectors fully divergent.
+    """
+    sectors = 0
+    for _line, mask in transactions:
+        sectors += bin(mask).count("1")
+    return {"lines": len(transactions), "sectors": sectors}
+
+
 def transaction_count(addresses: Iterable[int], line_bytes: int = 128) -> int:
     """Distinct lines touched — the classic coalescing metric."""
     return len({addr // line_bytes for addr in addresses})

@@ -35,11 +35,15 @@ class L2Slice:
                  sector_bytes: int = 32, latency: int = 32,
                  mshr_entries: int = 192, policy: str = "lru",
                  stats: Optional[StatGroup] = None,
-                 metadata_ways: int = 0):
+                 metadata_ways: int = 0, obs=None):
         self.slice_id = slice_id
         self.sim = sim
         self.protection = protection
         self.latency = latency
+        self._attributor = obs.latency if obs is not None else None
+        tracer = obs.tracer if obs is not None else None
+        self._tracer = tracer
+        self._trace_l2 = tracer is not None and tracer.wants("l2")
         group = stats.child(f"l2s{slice_id}") if stats is not None \
             else StatGroup(f"l2s{slice_id}")
         self.stats = group
@@ -79,6 +83,11 @@ class L2Slice:
             line_addr, is_metadata=is_metadata, low_priority=low_priority)
         if evicted is not None and evicted.needs_writeback:
             self._defer_writeback(evicted)
+        if self._trace_l2 and is_metadata:
+            self._tracer.instant(
+                "l2", "l2_meta_install", self.sim.now, tid=self.slice_id,
+                args={"line": line_addr, "mask": sector_mask,
+                      "dirty": dirty, "verified": verified})
         new_mask = sector_mask & ~line.valid_mask
         for sector in _bits(new_mask):
             self.cache.fill_sector(line, sector, dirty=dirty,
@@ -92,19 +101,41 @@ class L2Slice:
     # -- request interface (called after crossbar delivery) ---------------------
 
     def receive_load(self, line_addr: int, sector_mask: int,
-                     respond: Callable[[int], None]) -> None:
+                     respond: Callable[[int], None],
+                     token=None) -> None:
         """Serve a load for ``sector_mask``; ``respond(mask)`` is called
-        once when every requested sector is valid+verified here."""
+        once when every requested sector is valid+verified here.
+
+        ``token`` is an optional :class:`repro.obs.latency.LoadToken`
+        carried for latency attribution; it is stamped at arrival and
+        when the response fires.
+        """
         self._loads.add(1)
+        if token is not None:
+            token.t_arrive = self.sim.now
+            respond = self._stamped_respond(token, respond)
         hit_mask, _line = self.cache.lookup_mask(line_addr, sector_mask)
         miss_mask = sector_mask & ~hit_mask
         if not miss_mask:
+            if token is not None:
+                token.hit = True
             self.sim.schedule(self.latency, respond, sector_mask)
             return
-        self._enqueue_miss(line_addr, sector_mask, miss_mask, respond)
+        if self._trace_l2:
+            self._tracer.instant(
+                "l2", "l2_miss", self.sim.now, tid=self.slice_id,
+                args={"line": line_addr, "mask": miss_mask})
+        self._enqueue_miss(line_addr, sector_mask, miss_mask, respond, token)
+
+    def _stamped_respond(self, token, respond: Callable[[int], None]
+                         ) -> Callable[[int], None]:
+        def stamped(mask: int) -> None:
+            token.t_respond = self.sim.now
+            respond(mask)
+        return stamped
 
     def _enqueue_miss(self, line_addr: int, full_mask: int, miss_mask: int,
-                      respond: Callable[[int], None]) -> None:
+                      respond: Callable[[int], None], token=None) -> None:
         existing = self.mshrs.get(line_addr)
         previously_requested = existing.sector_mask if existing else 0
         entry = self.mshrs.allocate(line_addr, miss_mask,
@@ -112,25 +143,39 @@ class L2Slice:
         if entry is None:
             self._retries.add(1)
             self.sim.schedule(self.RETRY_CYCLES, self._retry_load,
-                              line_addr, full_mask, respond)
+                              line_addr, full_mask, respond, token)
             return
         if entry.payload is None:
             entry.payload = {"filled": 0}
         new_sectors = miss_mask & ~previously_requested
         if new_sectors:
+            attributor = self._attributor
+            if attributor is not None and token is not None:
+                # This transaction triggers the fetch: open the
+                # current-token scope so the scheme's synchronous DRAM
+                # reads are attributed to it (merged requests wait in
+                # the MSHR and attribute their wait as queue time).
+                attributor.begin_fetch(token)
+                try:
+                    self.protection.fetch(
+                        self.slice_id, line_addr, new_sectors,
+                        lambda granted: self._on_grant(line_addr, granted))
+                finally:
+                    attributor.end_fetch()
+                return
             self.protection.fetch(
                 self.slice_id, line_addr, new_sectors,
                 lambda granted: self._on_grant(line_addr, granted))
 
     def _retry_load(self, line_addr: int, full_mask: int,
-                    respond: Callable[[int], None]) -> None:
+                    respond: Callable[[int], None], token=None) -> None:
         # Re-evaluate from scratch: sectors may have arrived meanwhile.
         hit_mask, _line = self.cache.lookup_mask(line_addr, full_mask)
         miss_mask = full_mask & ~hit_mask
         if not miss_mask:
             self.sim.schedule(self.latency, respond, full_mask)
             return
-        self._enqueue_miss(line_addr, full_mask, miss_mask, respond)
+        self._enqueue_miss(line_addr, full_mask, miss_mask, respond, token)
 
     def _on_grant(self, line_addr: int, granted_mask: int) -> None:
         """A protection fetch completed for (a superset of) some sectors."""

@@ -24,7 +24,7 @@ from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
 from repro.cache.mshr import MshrFile
 from repro.cache.sectored import SectoredCache
-from repro.gpu.coalescer import coalesce
+from repro.gpu.coalescer import coalesce, coalesce_summary
 from repro.gpu.crossbar import Crossbar
 from repro.gpu.trace import ComputeOp, MemoryOp, WarpOp
 from repro.sim.engine import Simulator
@@ -41,7 +41,7 @@ class _WarpState(enum.Enum):
 
 class _Warp:
     __slots__ = ("warp_id", "ops", "state", "txns", "next_txn",
-                 "outstanding", "is_store_op", "is_atomic_op")
+                 "outstanding", "is_store_op", "is_atomic_op", "mem_start")
 
     def __init__(self, warp_id: int, ops: Iterator[WarpOp]):
         self.warp_id = warp_id
@@ -52,6 +52,9 @@ class _Warp:
         self.outstanding = 0
         self.is_store_op = False
         self.is_atomic_op = False
+        #: Trace-only: issue time of the in-flight memory op (None when
+        #: tracing is off or no memory op is in flight).
+        self.mem_start: Optional[int] = None
 
 
 class StreamingMultiprocessor:
@@ -66,7 +69,7 @@ class StreamingMultiprocessor:
                  l1_latency: int = 28, l1_mshr_entries: int = 64,
                  store_buffer: int = 64,
                  stats: Optional[StatGroup] = None,
-                 scheduler: str = "rr"):
+                 scheduler: str = "rr", obs=None):
         if scheduler not in ("rr", "gto"):
             raise ValueError("scheduler must be 'rr' or 'gto'")
         self.sm_id = sm_id
@@ -77,6 +80,10 @@ class StreamingMultiprocessor:
         self.line_bytes = line_bytes
         self.sector_bytes = sector_bytes
         self.l1_latency = l1_latency
+        self._attributor = obs.latency if obs is not None else None
+        tracer = obs.tracer if obs is not None else None
+        self._tracer = tracer
+        self._trace_sm = tracer is not None and tracer.wants("sm")
 
         group = stats.child(f"sm{sm_id}") if stats is not None \
             else StatGroup(f"sm{sm_id}")
@@ -184,6 +191,8 @@ class StreamingMultiprocessor:
         warp.outstanding = 0
         warp.is_store_op = op.is_store
         warp.is_atomic_op = op.is_atomic
+        if self._trace_sm:
+            warp.mem_start = self.sim.now
         if op.is_atomic:
             self._atomics.add(1)
         elif op.is_store:
@@ -194,6 +203,15 @@ class StreamingMultiprocessor:
         self._advance_mem_op(warp)
 
     def _warp_ready(self, warp: _Warp) -> None:
+        if warp.mem_start is not None:
+            kind = ("atomic" if warp.is_atomic_op
+                    else "store" if warp.is_store_op else "load")
+            args = coalesce_summary(warp.txns)
+            args["warp"] = warp.warp_id
+            self._tracer.complete(
+                "sm", f"mem_{kind}", warp.mem_start,
+                self.sim.now - warp.mem_start, tid=self.sm_id, args=args)
+            warp.mem_start = None
         warp.state = _WarpState.READY
         self._ready.append(warp)
         self._wake_issue()
@@ -248,20 +266,26 @@ class StreamingMultiprocessor:
     def _send_load(self, line_addr: int, mask: int) -> None:
         slice_id = self.route(line_addr)
         slice_obj = self.slices[slice_id]
+        attributor = self._attributor
+        token = attributor.issue() if attributor is not None else None
         self.crossbar.send_request(
             slice_id, 0,
             lambda: slice_obj.receive_load(
                 line_addr, mask,
                 lambda granted: self._queue_response(slice_id, line_addr,
-                                                     granted)))
+                                                     granted, token),
+                token))
 
-    def _queue_response(self, slice_id: int, line_addr: int, mask: int) -> None:
+    def _queue_response(self, slice_id: int, line_addr: int, mask: int,
+                        token=None) -> None:
         sectors = bin(mask).count("1")
         self.crossbar.send_response(
             slice_id, sectors,
-            lambda: self._on_l2_response(line_addr, mask))
+            lambda: self._on_l2_response(line_addr, mask, token))
 
-    def _on_l2_response(self, line_addr: int, mask: int) -> None:
+    def _on_l2_response(self, line_addr: int, mask: int, token=None) -> None:
+        if token is not None:
+            self._attributor.complete(token)
         line, evicted = self.l1.allocate(line_addr)
         # L1 is write-through: evictions are silent, nothing to do.
         del evicted

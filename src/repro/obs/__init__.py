@@ -1,0 +1,34 @@
+"""Simulation observability: tracing, time-series metrics, latency
+attribution.
+
+Three orthogonal tools, all off by default and all near-free when off:
+
+* :class:`~repro.obs.tracer.ChromeTracer` — structured spans/instants
+  in Chrome trace format (``chrome://tracing`` / Perfetto);
+* :class:`~repro.obs.sampler.MetricsSampler` — windowed snapshots of
+  every counter/gauge/histogram in the stats registry, exportable as
+  JSON-lines or CSV;
+* :class:`~repro.obs.latency.LatencyAttributor` — per-request latency
+  decomposition into data / protection-metadata / queue cycles.
+
+The :class:`~repro.obs.hub.Observability` hub bundles them for one
+run; ``GpuSystem(config, obs=...)`` threads it through the machine.
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.hub import OBS_OFF, Observability, make_observability
+from repro.obs.latency import LatencyAttributor, LoadToken
+from repro.obs.sampler import MetricsSampler
+from repro.obs.tracer import NULL_TRACER, ChromeTracer, NullTracer
+
+__all__ = [
+    "OBS_OFF",
+    "Observability",
+    "make_observability",
+    "LatencyAttributor",
+    "LoadToken",
+    "MetricsSampler",
+    "NULL_TRACER",
+    "ChromeTracer",
+    "NullTracer",
+]

@@ -1,0 +1,93 @@
+"""The per-run observability hub.
+
+One :class:`Observability` object configures everything this package
+offers and carries the live tracer/sampler/attributor for one
+simulated system.  The default, :data:`OBS_OFF`, is inert: a null
+tracer, no sampler, no latency attribution — safe to share between
+systems and free to consult on hot paths.
+
+Construction is two-phase because the hub outlives any single system
+configuration: ``Observability(...)`` records *what* to observe;
+:meth:`Observability.attach` (called by ``GpuSystem``) binds the
+sampler and attributor to that system's simulator and stats registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.latency import LatencyAttributor
+from repro.obs.sampler import MetricsSampler
+from repro.obs.tracer import NULL_TRACER, ChromeTracer, NullTracer
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatGroup
+
+
+class Observability:
+    """Configuration + live objects for one run's observability."""
+
+    def __init__(self, tracer: Optional[NullTracer] = None,
+                 sample_interval: int = 0,
+                 attribute_latency: bool = False):
+        self.tracer: NullTracer = tracer if tracer is not None else NULL_TRACER
+        self.sample_interval = sample_interval
+        self.attribute_latency = attribute_latency
+        self.sampler: Optional[MetricsSampler] = None
+        self.latency: Optional[LatencyAttributor] = None
+
+    @property
+    def enabled(self) -> bool:
+        return (self.tracer.enabled or self.sample_interval > 0
+                or self.attribute_latency)
+
+    def attach(self, sim: Simulator, stats: StatGroup) -> None:
+        """Bind live observers to a freshly built system (idempotent
+        per system; a hub must not be attached to two systems at once).
+        """
+        if self.sample_interval > 0:
+            self.sampler = MetricsSampler(sim, stats, self.sample_interval)
+        if self.attribute_latency:
+            self.latency = LatencyAttributor(sim, stats.child("latency"))
+
+    def start(self) -> None:
+        """Arm run-time observers (called when the system starts)."""
+        if self.sampler is not None:
+            self.sampler.start()
+
+    def finish(self) -> None:
+        """Close trailing state at end of run."""
+        if self.sampler is not None:
+            self.sampler.finish()
+
+
+def make_observability(trace_out: Optional[str] = None,
+                       metrics_out: Optional[str] = None,
+                       sample_interval: int = 1000,
+                       trace_categories: Optional[str] = None,
+                       attribute_latency: bool = False,
+                       trace_capacity: int = 1_000_000) -> Observability:
+    """Build a hub from CLI-flavoured options.
+
+    ``trace_categories`` is a comma-separated list (``"dram,l2"``) or
+    ``None`` for all categories.  Sampling is enabled whenever
+    ``metrics_out`` is given.
+    """
+    if metrics_out and sample_interval < 1:
+        raise ValueError(
+            f"metrics output requested but sample_interval is "
+            f"{sample_interval}; it must be >= 1 cycle")
+    tracer: Optional[ChromeTracer] = None
+    if trace_out:
+        cats = None
+        if trace_categories:
+            cats = [c.strip() for c in trace_categories.split(",") if c.strip()]
+        tracer = ChromeTracer(capacity=trace_capacity, categories=cats)
+    return Observability(
+        tracer=tracer,
+        sample_interval=sample_interval if metrics_out else 0,
+        attribute_latency=attribute_latency,
+    )
+
+
+#: The shared disabled hub; the implicit default everywhere.
+OBS_OFF = Observability()

@@ -1,0 +1,120 @@
+"""Latency-breakdown and hot-component reporting.
+
+Consumes a finished :class:`~repro.core.results.RunResult` produced
+with latency attribution enabled and renders:
+
+* a **latency breakdown table** — per-L2-request cycles decomposed
+  into data, protection-metadata and queue/transit components that sum
+  to the measured total (the attribution counters preserve the sum
+  identity exactly; see :mod:`repro.obs.latency`);
+* a **hottest-components table** — every modeled resource ranked by
+  per-cycle occupancy (DRAM data-bus busy fraction, crossbar port busy
+  fraction, L2 requests/cycle, SM issue slots/cycle), which is the
+  first place to look when deciding what a perf PR should attack.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import format_table
+
+#: component-pattern -> (display kind, occupancy numerator keys)
+_OCCUPANCY_RULES: List[Tuple[str, str, Tuple[str, ...]]] = [
+    (r"^(dram\d+)\.bus_busy_cycles$", "DRAM data bus", ()),
+    (r"^(xbar\.(?:req|rsp)\d+)\.busy_cycles$", "crossbar port", ()),
+    (r"^(sm\d+)\.instructions$", "SM issue", ()),
+]
+
+
+def latency_breakdown_rows(latency: Dict[str, float]) -> List[List[object]]:
+    """Rows: component, total cycles, mean cycles/request, share of total."""
+    total = latency.get("total_cycles", 0)
+    requests = latency.get("requests", 0) or 1
+    rows = []
+    for label, key in (("data", "data_cycles"),
+                       ("metadata", "metadata_cycles"),
+                       ("queue/transit", "queue_cycles")):
+        cycles = latency.get(key, 0)
+        rows.append([label, int(cycles), round(cycles / requests, 1),
+                     f"{cycles / total:.1%}" if total else "-"])
+    rows.append(["total", int(total), round(total / requests, 1), "100.0%"])
+    return rows
+
+
+def hottest_components(stats: Dict[str, float], cycles: int,
+                       k: int = 8) -> List[List[object]]:
+    """Top-``k`` resources by per-cycle occupancy.
+
+    Occupancy is dimensionless: busy-cycles / run-cycles for buses and
+    ports, operations / run-cycles for structures that accept one
+    operation per cycle (L2 slices, SM issue).  A value near 1.0 is a
+    saturated resource; the sorted table is the bottleneck shortlist.
+    """
+    if cycles <= 0:
+        return []
+    found: List[Tuple[float, str, str]] = []
+    for pattern, kind, _ in _OCCUPANCY_RULES:
+        regex = re.compile(pattern)
+        for key, value in stats.items():
+            match = regex.match(key)
+            if match:
+                found.append((value / cycles, match.group(1), kind))
+    # L2 slices: requests per cycle across the three request kinds.
+    l2: Dict[str, float] = {}
+    for key, value in stats.items():
+        match = re.match(r"^(l2s\d+)\.(load|store|atomic)_requests$", key)
+        if match:
+            l2[match.group(1)] = l2.get(match.group(1), 0) + value
+    for name, requests in l2.items():
+        found.append((requests / cycles, name, "L2 slice requests"))
+    # Dedicated metadata caches, when the scheme has them.
+    mdc: Dict[str, float] = {}
+    for key, value in stats.items():
+        match = re.match(r"^(.*\bmdc\d+)\.(hits|sector_misses|line_misses)$",
+                         key)
+        if match:
+            mdc[match.group(1)] = mdc.get(match.group(1), 0) + value
+    for name, accesses in mdc.items():
+        found.append((accesses / cycles, name, "metadata cache accesses"))
+    found.sort(key=lambda row: (-row[0], row[1]))
+    return [[name, kind, f"{occ:.1%}"] for occ, name, kind in found[:k]]
+
+
+def render_profile(result, k: int = 8) -> str:
+    """The full profile report for one run."""
+    parts = []
+    latency = getattr(result, "latency", None) or {}
+    if latency.get("requests"):
+        parts.append(format_table(
+            ["component", "cycles", "mean/request", "share"],
+            latency_breakdown_rows(latency),
+            title=(f"latency breakdown: {result.workload} / {result.scheme} "
+                   f"({int(latency['requests'])} L2 requests)")))
+        parts.append(
+            f"percentiles: p50={latency.get('total_p50', 0):.0f} "
+            f"p95={latency.get('total_p95', 0):.0f} "
+            f"mean={latency.get('total_mean', 0):.1f} cycles; "
+            f"l2 hits {int(latency.get('l2_hit_requests', 0))}"
+            f"/{int(latency['requests'])}")
+    else:
+        parts.append("no attributed requests (latency attribution disabled "
+                     "or no L1 misses)")
+    hot = hottest_components(result.stats, result.cycles, k=k)
+    if hot:
+        parts.append(format_table(
+            ["component", "kind", "occupancy"], hot,
+            title=f"hottest components (top {min(k, len(hot))})"))
+    return "\n\n".join(parts)
+
+
+def check_breakdown_sums(latency: Dict[str, float],
+                         tolerance: float = 0.01) -> bool:
+    """True when data+metadata+queue match total within ``tolerance``."""
+    total = latency.get("total_cycles", 0)
+    if not total:
+        return True
+    parts = (latency.get("data_cycles", 0) + latency.get("metadata_cycles", 0)
+             + latency.get("queue_cycles", 0))
+    return abs(parts - total) <= tolerance * total

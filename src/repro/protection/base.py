@@ -41,11 +41,21 @@ class ProtectionContext:
                  sector_bytes: int, line_bytes: int,
                  slice_chunk_bytes: int,
                  functional: Optional[FunctionalMemory] = None,
-                 ecc_check_latency: int = 4):
+                 ecc_check_latency: int = 4,
+                 obs=None):
+        if obs is None:
+            from repro.obs.hub import OBS_OFF
+            obs = OBS_OFF
         self.sim = sim
         self.layout = layout
         self.channels = channels
         self.stats = stats
+        #: The run's observability hub (tracer + optional attributor).
+        self.obs = obs
+        self.tracer = obs.tracer
+        # Cached so the disabled hot path is a single None check; the
+        # attributor must already be attached when the context is built.
+        self._latency = obs.latency
         self.sector_bytes = sector_bytes
         self.line_bytes = line_bytes
         self.sectors_per_line = line_bytes // sector_bytes
@@ -118,6 +128,12 @@ class ProtectionContext:
 
     def dram_read(self, slice_id: int, addr: int, kind: RequestKind,
                   callback: Callable[[], None], atoms: int = 1) -> None:
+        latency = self._latency
+        if latency is not None and latency.current is not None:
+            # Inside an attributed fetch scope: stamp the in-scope load
+            # token when this read's data returns (data vs metadata).
+            callback = latency.link_read(
+                kind is RequestKind.METADATA, callback)
         self.channels[slice_id].enqueue(DramRequest(
             addr=self.to_channel_local(addr), is_write=False, kind=kind,
             callback=callback, atoms=atoms))

@@ -18,13 +18,24 @@ from repro.sim.stats import StatGroup
 
 
 class DedicatedMetadataCache:
-    """A per-partition cache of 32 B metadata atoms."""
+    """A per-partition cache of 32 B metadata atoms.
+
+    ``sim`` and ``tracer`` are optional observability hooks: when both
+    are given, misses and fills emit ``mdcache``-category instant
+    events timestamped off ``sim.now``.
+    """
 
     def __init__(self, name: str, size_bytes: int, atom_bytes: int = 32,
-                 ways: int = 8, stats: Optional[StatGroup] = None):
+                 ways: int = 8, stats: Optional[StatGroup] = None,
+                 sim=None, tracer=None):
         if size_bytes < ways * atom_bytes:
             raise ValueError("metadata cache smaller than one set")
+        self.name = name
         self.atom_bytes = atom_bytes
+        self._sim = sim
+        self._tracer = tracer
+        self._trace = (sim is not None and tracer is not None
+                       and tracer.wants("mdcache"))
         self._cache = SectoredCache(
             name, size_bytes, ways,
             line_bytes=atom_bytes, sector_bytes=atom_bytes,
@@ -38,7 +49,11 @@ class DedicatedMetadataCache:
     def lookup(self, atom_addr: int) -> bool:
         """True on a *readable* hit (write-only entries do not count)."""
         result, _line = self._cache.lookup(atom_addr, require_verified=True)
-        return result.name == "HIT"
+        hit = result.name == "HIT"
+        if self._trace and not hit:
+            self._tracer.instant("mdcache", f"{self.name}_miss",
+                                 self._sim.now, args={"atom": atom_addr})
+        return hit
 
     def insert(self, atom_addr: int, *, dirty: bool = False,
                verified: bool = True) -> Optional[int]:
@@ -51,6 +66,11 @@ class DedicatedMetadataCache:
         """
         line_addr = self._cache.line_addr_of(atom_addr)
         line, evicted = self._cache.allocate(line_addr, is_metadata=True)
+        if self._trace:
+            self._tracer.instant(
+                "mdcache", f"{self.name}_fill", self._sim.now,
+                args={"atom": atom_addr, "dirty": dirty,
+                      "verified": verified})
         self._cache.fill_sector(line, 0, dirty=dirty, verified=verified)
         if dirty:
             line.dirty_mask |= 1

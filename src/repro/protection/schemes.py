@@ -225,7 +225,8 @@ class MetadataCacheScheme(InlineSectorCode):
         for slice_id in range(len(self.ctx.channels)):
             self._mdcs[slice_id] = DedicatedMetadataCache(
                 f"mdc{slice_id}", self.mdcache_kb * 1024,
-                atom_bytes=self.ctx.layout.atom_bytes, stats=self.stats)
+                atom_bytes=self.ctx.layout.atom_bytes, stats=self.stats,
+                sim=self.ctx.sim, tracer=self.ctx.tracer)
 
     def sram_overhead_bytes(self) -> int:
         return self.mdcache_kb * 1024 * len(self._mdcs)

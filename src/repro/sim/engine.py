@@ -41,6 +41,9 @@ class Simulator:
         self._seq: int = 0
         self._queue: List[Tuple[int, int, Callable[..., None], Tuple[Any, ...]]] = []
         self._running = False
+        #: Queued events that are *daemons* (observability ticks etc.);
+        #: they never keep a run alive on their own.
+        self._daemons: int = 0
         #: Total events executed; useful for performance accounting.
         self.events_executed: int = 0
 
@@ -69,9 +72,35 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._queue, (int(when), self._seq, fn, args))
 
+    def schedule_daemon(self, delay: int, fn: Callable[..., None],
+                        *args: Any) -> None:
+        """Schedule a *daemon* event ``delay`` cycles from now.
+
+        Daemon events (metrics-sampler ticks, watchdogs) run like any
+        other event while real work is queued, but :meth:`run` stops —
+        without executing them or advancing time — once only daemons
+        remain.  A periodic observer can therefore reschedule itself
+        freely without turning a finite simulation into an infinite one.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self._daemons += 1
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (self._now + int(delay), self._seq, self._run_daemon,
+                        (fn, args)))
+
+    def _run_daemon(self, fn: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self._daemons -= 1
+        fn(*args)
+
     def pending(self) -> int:
-        """Number of events still queued."""
+        """Number of events still queued (daemons included)."""
         return len(self._queue)
+
+    def pending_work(self) -> int:
+        """Number of queued non-daemon events."""
+        return len(self._queue) - self._daemons
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Drain the event queue.
@@ -91,7 +120,7 @@ class Simulator:
         self._running = True
         executed = 0
         try:
-            while self._queue:
+            while len(self._queue) > self._daemons:
                 when, _seq, fn, args = self._queue[0]
                 if until is not None and when > until:
                     break

@@ -9,7 +9,7 @@ analysis layer and for test assertions.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Tuple, Union
 
 
 class Counter:
@@ -29,6 +29,33 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value statistic (queue depth, occupancy, selector state).
+
+    Unlike a :class:`Counter`, successive sets overwrite: the flattened
+    value — and what the time-series sampler records each window — is
+    the level at observation time, not an accumulated total.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def adjust(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
 
 
 class Histogram:
@@ -65,7 +92,12 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Approximate percentile using bucket upper edges."""
+        """Approximate percentile using bucket upper edges.
+
+        Values landing in the overflow bucket interpolate between the
+        last edge and the recorded ``max`` (never ``inf``): the bucket
+        histogram loses exact values, but the extremum is tracked.
+        """
         if not self.count:
             return 0.0
         target = self.count * p
@@ -73,8 +105,22 @@ class Histogram:
         for i, b in enumerate(self.buckets):
             seen += b
             if seen >= target:
-                return float(self.edges[i]) if i < len(self.edges) else float("inf")
-        return float("inf")
+                if i < len(self.edges):
+                    return float(self.edges[i])
+                return self._overflow_interpolate(target, seen, b)
+        return float(max(self.max, self.edges[-1]))
+
+    def _overflow_interpolate(self, target: float, seen: int,
+                              bucket_count: int) -> float:
+        """Linear interpolation inside the overflow bucket against the
+        recorded max (the bucket has no upper edge of its own)."""
+        lower = float(self.edges[-1])
+        upper = float(max(self.max, lower))
+        if bucket_count <= 0:
+            return upper
+        into_bucket = target - (seen - bucket_count)
+        fraction = min(1.0, max(0.0, into_bucket / bucket_count))
+        return lower + (upper - lower) * fraction
 
     def reset(self) -> None:
         self.buckets = [0] * (len(self.edges) + 1)
@@ -84,7 +130,7 @@ class Histogram:
         self.max = -math.inf
 
 
-Stat = Union[Counter, Histogram]
+Stat = Union[Counter, Gauge, Histogram]
 
 
 class StatGroup:
@@ -112,6 +158,12 @@ class StatGroup:
         self.add(h)
         return h
 
+    def gauge(self, name: str) -> Gauge:
+        """Create-and-register a last-value gauge in one step."""
+        g = Gauge(name)
+        self.add(g)
+        return g
+
     def child(self, name: str) -> "StatGroup":
         if name not in self._children:
             self._children[name] = StatGroup(name)
@@ -123,19 +175,41 @@ class StatGroup:
     def flatten(self, prefix: str = "") -> Dict[str, float]:
         """Flatten into ``{dotted.path: numeric value}``.
 
-        Histograms contribute ``.count`` and ``.mean`` entries.
+        Histograms contribute ``.count``, ``.mean``, ``.min``, ``.max``,
+        ``.p50`` and ``.p95`` entries (extrema are 0 while empty so the
+        output stays JSON-serializable).
         """
         base = f"{prefix}{self.name}." if self.name else prefix
         out: Dict[str, float] = {}
         for stat in self._stats.values():
-            if isinstance(stat, Counter):
+            if isinstance(stat, (Counter, Gauge)):
                 out[f"{base}{stat.name}"] = stat.value
             else:
                 out[f"{base}{stat.name}.count"] = stat.count
                 out[f"{base}{stat.name}.mean"] = stat.mean
+                out[f"{base}{stat.name}.min"] = (
+                    float(stat.min) if stat.count else 0.0)
+                out[f"{base}{stat.name}.max"] = (
+                    float(stat.max) if stat.count else 0.0)
+                out[f"{base}{stat.name}.p50"] = stat.percentile(0.50)
+                out[f"{base}{stat.name}.p95"] = stat.percentile(0.95)
         for childgroup in self._children.values():
             out.update(childgroup.flatten(base))
         return out
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, Stat]]:
+        """Yield ``(dotted.path, stat_object)`` pairs depth-first.
+
+        Unlike :meth:`flatten` this exposes the live stat objects with
+        their types intact, which is what the time-series sampler needs
+        to apply delta semantics to counters but last-value semantics to
+        gauges.
+        """
+        base = f"{prefix}{self.name}." if self.name else prefix
+        for stat in self._stats.values():
+            yield f"{base}{stat.name}", stat
+        for childgroup in self._children.values():
+            yield from childgroup.walk(base)
 
     def reset(self) -> None:
         for stat in self._stats.values():

@@ -43,6 +43,62 @@ def test_experiment_t1(capsys):
     assert "T1" in capsys.readouterr().out
 
 
+def test_run_with_observability_outputs(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.jsonl"
+    rc = main(["run", "-w", "vecadd", "-s", "cachecraft", "--scale", "0.03",
+               "--l2-kb", "256", "--trace-out", str(trace),
+               "--metrics-out", str(metrics), "--sample-interval", "200"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote trace" in out
+
+    payload = json.loads(trace.read_text())
+    assert payload["traceEvents"], "trace must not be empty"
+    assert all("ph" in e and "ts" in e for e in payload["traceEvents"])
+
+    rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+    assert len(rows) >= 2
+    keys = set().union(*rows) - {"cycle", "window_cycles"}
+    assert len(keys) >= 2, "expected at least two sampled series"
+
+
+def test_run_metrics_csv(tmp_path):
+    metrics = tmp_path / "metrics.csv"
+    rc = main(["run", "-w", "vecadd", "-s", "none", "--scale", "0.03",
+               "--l2-kb", "256", "--metrics-out", str(metrics)])
+    assert rc == 0
+    lines = metrics.read_text().splitlines()
+    assert lines[0].startswith("cycle") or "cycle" in lines[0].split(",")
+    assert len(lines) >= 2
+
+
+def test_profile_breakdown(capsys):
+    rc = main(["profile", "-w", "vecadd", "-s", "cachecraft",
+               "--scale", "0.03", "--l2-kb", "256"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency breakdown" in out
+    assert "hottest components" in out
+    assert "100.0%" in out  # the total row's share column
+
+
+def test_compare_per_scheme_outputs(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "cmp.json"
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03",
+               "--trace-out", str(trace)])
+    assert rc == 0
+    per_scheme = sorted(p.name for p in tmp_path.glob("cmp.*.json"))
+    assert "cmp.cachecraft.json" in per_scheme
+    assert "cmp.none.json" in per_scheme
+    payload = json.loads((tmp_path / "cmp.cachecraft.json").read_text())
+    assert payload["traceEvents"]
+
+
 def test_invalid_workload_rejected():
     with pytest.raises(SystemExit):
         main(["run", "-w", "notaworkload"])

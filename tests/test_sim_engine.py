@@ -139,3 +139,94 @@ def test_run_is_not_reentrant():
     sim.schedule(0, bad)
     sim.run()
     assert len(errors) == 1
+
+
+def test_run_until_equal_to_event_time_executes_it():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "x")
+    sim.run(until=10)
+    assert fired == ["x"] and sim.now == 10
+
+
+def test_max_events_boundary_is_inclusive():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run(max_events=5)  # exactly at the limit: fine
+    assert sim.events_executed == 5
+
+    sim2 = Simulator()
+    for _ in range(6):
+        sim2.schedule(1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim2.run(max_events=5)
+
+
+def test_run_returns_final_time():
+    sim = Simulator()
+    sim.schedule(7, lambda: None)
+    assert sim.run() == 7
+    assert sim.run(until=30) == 30
+
+
+def test_events_executed_survives_multiple_runs():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.run()
+    sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 2
+
+
+class TestDaemonEvents:
+    def test_lone_daemon_does_not_run_or_advance_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_daemon(10, fired.append, "tick")
+        sim.run()
+        assert fired == []
+        assert sim.now == 0
+        assert sim.pending() == 1 and sim.pending_work() == 0
+
+    def test_daemon_runs_while_real_work_is_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_daemon(5, fired.append, "tick")
+        sim.schedule(20, fired.append, "work")
+        sim.run()
+        assert fired == ["tick", "work"]
+        assert sim.now == 20
+
+    def test_self_rescheduling_daemon_stops_with_real_work(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule_daemon(10, tick)
+
+        sim.schedule_daemon(10, tick)
+        sim.schedule(35, lambda: None)
+        sim.run()
+        # Fires at 10, 20, 30; the tick due at 40 is past the last real
+        # event and must neither run nor hold the clock at 40.
+        assert ticks == [10, 20, 30]
+        assert sim.now == 35
+        assert sim.pending_work() == 0 and sim.pending() == 1
+
+    def test_daemon_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_daemon(-1, lambda: None)
+
+    def test_daemon_may_schedule_real_work(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            sim.schedule(1, fired.append, "spawned")
+
+        sim.schedule_daemon(2, tick)
+        sim.schedule(5, fired.append, "work")
+        sim.run()
+        assert fired == ["spawned", "work"]

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim.stats import Counter, Histogram, StatGroup, StatsRegistry
+from repro.sim.stats import Counter, Gauge, Histogram, StatGroup, StatsRegistry
 
 
 class TestCounter:
@@ -15,6 +15,27 @@ class TestCounter:
         assert c.value == 6
         c.reset()
         assert c.value == 0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(3)
+        assert g.value == 3
+
+    def test_adjust_and_reset(self):
+        g = Gauge("g")
+        g.adjust(4)
+        g.adjust(-1)
+        assert g.value == 3
+        g.reset()
+        assert g.value == 0.0
+
+    def test_flattens_to_last_value(self):
+        root = StatsRegistry()
+        root.child("q").gauge("depth").set(7)
+        assert root.flatten()["q.depth"] == 7
 
 
 class TestHistogram:
@@ -54,6 +75,30 @@ class TestHistogram:
         assert h.mean == 0.0
         assert h.percentile(0.5) == 0.0
         assert math.isinf(h.min)
+
+    def test_overflow_percentile_is_finite(self):
+        h = Histogram("h", [10, 20])
+        for v in (100, 200, 300):
+            h.record(v)
+        p99 = h.percentile(0.99)
+        assert math.isfinite(p99)
+        assert 20 <= p99 <= 300
+
+    def test_overflow_percentile_interpolates_toward_max(self):
+        h = Histogram("h", [10])
+        for v in (50, 100):
+            h.record(v)
+        # All mass in the overflow bucket: p100 hits the recorded max,
+        # smaller percentiles interpolate between the edge and the max.
+        assert h.percentile(1.0) == 100
+        assert h.percentile(0.5) == pytest.approx(55.0)
+
+    def test_overflow_percentile_never_exceeds_max(self):
+        h = Histogram("h", [10, 20, 40])
+        for v in range(0, 200, 7):
+            h.record(v)
+        for p in (0.5, 0.9, 0.95, 0.99, 1.0):
+            assert h.percentile(p) <= h.max
 
     def test_unsorted_edges_rejected(self):
         with pytest.raises(ValueError):
@@ -108,3 +153,34 @@ class TestStatGroup:
         g.counter("a")
         g.counter("b")
         assert sorted(s.name for s in g) == ["a", "b"]
+
+    def test_histogram_flatten_summaries(self):
+        root = StatsRegistry()
+        h = root.child("g").histogram("lat", [10, 100])
+        for v in (4, 8, 40):
+            h.record(v)
+        flat = root.flatten()
+        assert flat["g.lat.min"] == 4
+        assert flat["g.lat.max"] == 40
+        assert flat["g.lat.p50"] == 10
+        assert flat["g.lat.p95"] == 100
+
+    def test_empty_histogram_flatten_is_json_safe(self):
+        root = StatsRegistry()
+        root.child("g").histogram("lat", [10])
+        flat = root.flatten()
+        assert flat["g.lat.min"] == 0.0
+        assert flat["g.lat.max"] == 0.0
+
+    def test_walk_yields_live_typed_stats(self):
+        root = StatsRegistry()
+        g = root.child("a")
+        c = g.counter("x")
+        gauge = g.gauge("level")
+        h = g.child("b").histogram("lat", [10])
+        found = dict(root.walk())
+        assert found["a.x"] is c
+        assert found["a.level"] is gauge
+        assert found["a.b.lat"] is h
+        assert isinstance(found["a.x"], Counter)
+        assert isinstance(found["a.level"], Gauge)
