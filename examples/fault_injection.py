@@ -1,26 +1,38 @@
 #!/usr/bin/env python3
 """End-to-end fault injection: soft errors meeting real ECC.
 
-Runs CacheCraft in *functional* mode — every granule verification runs
-a real SEC-DED decode over real bytes in a backing store — then strikes
-the memory with single-bit, double-bit and chip-style faults and shows
-what the protection reports.
+Two acts:
+
+1. **Pre-planted faults** — CacheCraft runs in *functional* mode (every
+   granule verification is a real SEC-DED decode over real bytes) with
+   single-bit, double-bit and chip-style faults planted before the run,
+   showing what the decoder reports.
+2. **In-situ injection with recovery** — a ``ResilienceConfig`` arms
+   fault *processes* that strike mid-run, and the protection path
+   answers with recovery semantics: correction stalls, bounded DUE
+   replays (healable faults revert, the granule re-verifies), and
+   poisoning once the retry budget is exhausted.  See
+   docs/RESILIENCE.md.
 
 Run:  python examples/fault_injection.py
 """
 
 import random
 
-from repro import GenContext, SystemConfig, make_workload
+from repro import GenContext, ResilienceConfig, SystemConfig, make_workload
 from repro.core.system import GpuSystem
+from repro.resilience import BurstEvent, RecoveryPolicy, TransientFlips
+
+
+def small_config() -> SystemConfig:
+    return SystemConfig().with_gpu(num_sms=2, warps_per_sm=4,
+                                   l2_size_kb=256, num_slices=2)
 
 
 def run_campaign(code_name: str, faults: str, n_faults: int,
                  seed: int = 3) -> dict:
     """One simulated run with faults pre-planted in touched memory."""
-    config = SystemConfig().with_gpu(num_sms=2, warps_per_sm=4,
-                                     l2_size_kb=256, num_slices=2)
-    config = config.with_scheme("cachecraft", code_name=code_name)
+    config = small_config().with_scheme("cachecraft", code_name=code_name)
     config = config.with_protection(functional=True)
     system = GpuSystem(config)
 
@@ -56,9 +68,35 @@ def run_campaign(code_name: str, faults: str, n_faults: int,
     }
 
 
-def main() -> None:
-    print("CacheCraft functional-mode fault injection (vecadd, SEC-DED "
-          "and RS codes)\n")
+def run_in_situ(scheme: str, processes, seed: int = 42) -> dict:
+    """One timed run with faults striking *during* execution."""
+    config = small_config().with_scheme(scheme, functional=True)
+    config = config.with_resilience(ResilienceConfig(
+        recovery=RecoveryPolicy(max_retries=3),
+        fault_processes=tuple(processes),
+        inject_seed=1, inject_interval=25))
+    system = GpuSystem(config)
+    workload = make_workload("vecadd")
+    gen = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=seed)
+    system.load_workload(workload, gen)
+    cycles = system.run()
+    result = system.result(workload.name, cycles, 0.0)
+    stats = result.stats
+    return {
+        "flips": int(stats.get("injector.data_flips", 0)),
+        "corrected": int(stats.get("resilience.corrected_events", 0)),
+        "due": int(stats.get("resilience.due_events", 0)),
+        "retries": int(stats.get("resilience.retries", 0)),
+        "recovered": int(stats.get("resilience.recovered", 0)),
+        "healed": int(stats.get("injector.bits_healed", 0)),
+        "poisoned": int(stats.get("resilience.poisoned_granules", 0)),
+        "retry_bytes": int(result.traffic.get("retry", 0)),
+    }
+
+
+def print_decode_table() -> None:
+    print("Act 1 — functional-mode decode outcomes (vecadd, pre-planted "
+          "faults)\n")
     header = f"{'code':10s} {'fault model':12s} {'clean':>7} " \
              f"{'corrected':>10} {'detected':>9}"
     print(header)
@@ -71,6 +109,38 @@ def main() -> None:
     print()
     print("Expected shape: SEC-DED corrects singles and *detects* doubles")
     print("and chip faults; RS (t=2 symbols) also corrects the chip faults.")
+
+
+def print_recovery_table() -> None:
+    print("\nAct 2 — in-situ injection with recovery semantics (sideband, "
+          "vecadd)\n")
+    scenarios = (
+        ("transient singles", [TransientFlips(rate_per_kcycle=20.0)]),
+        ("healable 2-bit burst", [BurstEvent(at_cycle=50, bits=2,
+                                             healable=True)]),
+        ("hard 4-bit burst", [BurstEvent(at_cycle=50, bits=4)]),
+    )
+    header = (f"{'fault process':22s} {'flips':>6} {'corrected':>10} "
+              f"{'DUE':>4} {'retries':>8} {'recovered':>10} {'healed':>7} "
+              f"{'poisoned':>9} {'retry B':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, processes in scenarios:
+        s = run_in_situ("sideband", processes)
+        print(f"{name:22s} {s['flips']:>6} {s['corrected']:>10} "
+              f"{s['due']:>4} {s['retries']:>8} {s['recovered']:>10} "
+              f"{s['healed']:>7} {s['poisoned']:>9} {s['retry_bytes']:>8}")
+    print()
+    print("Expected shape: transients correct with a per-event stall;")
+    print("a healable burst DUEs once, replays, heals and recovers; a hard")
+    print("burst exhausts the 3-retry budget and the granule is poisoned —")
+    print("each replay re-reads data + metadata as `retry` traffic.")
+
+
+def main() -> None:
+    print("Fault injection: real ECC decodes, then in-situ recovery\n")
+    print_decode_table()
+    print_recovery_table()
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.core.config import (
     PROTECTED_SCHEMES,
     GpuConfig,
     ProtectionConfig,
+    ResilienceConfig,
     SystemConfig,
     test_config,
 )
@@ -47,6 +48,7 @@ __version__ = "1.0.0"
 __all__ = [
     "GpuConfig",
     "ProtectionConfig",
+    "ResilienceConfig",
     "SystemConfig",
     "GpuSystem",
     "RunResult",

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.config import ALL_SCHEMES, SystemConfig
 from repro.core.results import RunResult
 from repro.core.system import run_workload
+from repro.sim.engine import Watchdog
 from repro.workloads import make_workload
 from repro.workloads.base import GenContext, Workload
 
@@ -50,7 +51,9 @@ class ExperimentHarness:
     def __init__(self, config: Optional[SystemConfig] = None,
                  scale: float = 0.3, seed: int = 42,
                  workload_params: Optional[Dict[str, dict]] = None,
-                 obs_factory: Optional[Callable[[str, str], object]] = None):
+                 obs_factory: Optional[Callable[[str, str], object]] = None,
+                 max_events: Optional[int] = 50_000_000,
+                 max_wall_seconds: Optional[float] = None):
         self.config = config or bench_config()
         self.scale = scale
         self.seed = seed
@@ -58,6 +61,11 @@ class ExperimentHarness:
         #: Optional ``(workload, scheme) -> Observability`` hook; each
         #: uncached run gets its own hub (hubs bind to one system).
         self.obs_factory = obs_factory
+        #: Safety valves: a misconfigured workload raises
+        #: :class:`~repro.sim.engine.SimulationError` instead of
+        #: spinning forever.  ``None`` disables either guard.
+        self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
         self._cache: Dict[Tuple, RunResult] = {}
 
     def _gen_ctx(self, config: SystemConfig) -> GenContext:
@@ -78,10 +86,44 @@ class ExperimentHarness:
         if cached is not None:
             return cached
         obs = self.obs_factory(workload, scheme) if self.obs_factory else None
+        watchdog = None
+        if self.max_wall_seconds is not None:
+            watchdog = Watchdog(max_wall_seconds=self.max_wall_seconds)
         result = run_workload(self._build_workload(workload), cfg,
-                              gen_ctx=self._gen_ctx(cfg), obs=obs)
+                              gen_ctx=self._gen_ctx(cfg), obs=obs,
+                              max_events=self.max_events, watchdog=watchdog)
         self._cache[key] = result
         return result
+
+    def run_campaign(self, workloads: Sequence[str],
+                     schemes: Sequence[str] = ALL_SCHEMES,
+                     journal_path: str = "campaign.jsonl",
+                     workers: int = 2, timeout: Optional[float] = None,
+                     max_attempts: int = 2, resume: bool = True,
+                     resilience: Optional[dict] = None,
+                     max_events: Optional[int] = None,
+                     progress=None):
+        """Run the workload x scheme grid in isolated subprocess workers.
+
+        Unlike :meth:`matrix` this survives crashed or hung cells: each
+        runs in its own process with a timeout, failures are retried
+        then reported, and the JSONL journal at ``journal_path`` lets a
+        killed campaign resume with only the unfinished cells.  Returns
+        a :class:`repro.resilience.campaign.CampaignSummary`.
+        """
+        # Imported lazily: campaign pulls in subprocess machinery that
+        # in-process experiments never need.
+        from repro.resilience.campaign import CampaignRunner, build_cells
+
+        cells = build_cells(
+            workloads, schemes, scale=self.scale, seed=self.seed,
+            resilience=resilience,
+            max_events=max_events if max_events is not None
+            else self.max_events,
+            max_wall_seconds=self.max_wall_seconds)
+        runner = CampaignRunner(journal_path, workers=workers,
+                                timeout=timeout, max_attempts=max_attempts)
+        return runner.run(cells, resume=resume, progress=progress)
 
     def matrix(self, workloads: Sequence[str],
                schemes: Sequence[str] = ALL_SCHEMES,

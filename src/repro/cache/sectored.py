@@ -38,6 +38,9 @@ class CacheLine:
     valid_mask: int = 0
     dirty_mask: int = 0
     verified_mask: int = 0
+    #: Sectors marked poisoned by recovery (DUE retries exhausted);
+    #: served loads of these count as poison propagations.
+    poisoned_mask: int = 0
     #: True when this line holds protection metadata, not program data.
     is_metadata: bool = False
 
@@ -50,6 +53,7 @@ class CacheLine:
         self.valid_mask = 0
         self.dirty_mask = 0
         self.verified_mask = 0
+        self.poisoned_mask = 0
         self.is_metadata = False
 
 
@@ -261,6 +265,8 @@ class SectoredCache:
         """Install one sector into an already-allocated line."""
         bit = 1 << sector
         line.valid_mask |= bit
+        # Fresh contents replace whatever was poisoned here.
+        line.poisoned_mask &= ~bit
         if dirty:
             line.dirty_mask |= bit
         if verified:

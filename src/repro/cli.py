@@ -10,6 +10,8 @@ Subcommands:
 * ``experiment`` — regenerate one of the reproduced tables/figures;
 * ``sweep`` — one-parameter sensitivity sweep (l2/granule/mdcache);
 * ``faults`` — fault-injection coverage campaign for any code;
+* ``campaign`` — resilient multi-cell sweep in subprocess workers with
+  timeouts, retries and a resumable JSONL journal (docs/RESILIENCE.md);
 * ``trace`` — dump a workload's warp traces to JSON lines;
 * ``report`` — assemble a markdown report from saved benchmark results;
 * ``list`` — list available workloads, schemes, and experiments.
@@ -162,6 +164,45 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument("--granule", type=int, default=32)
     faults_p.add_argument("--trials", type=int, default=500)
 
+    camp_p = sub.add_parser(
+        "campaign",
+        help="resilient workload x scheme sweep (subprocess workers, "
+             "timeouts, retries, resumable journal)")
+    camp_p.add_argument("--workloads", "-w", default="vecadd,spmv",
+                        help="comma-separated workload list")
+    camp_p.add_argument("--schemes", "-s", default="none,cachecraft",
+                        help="comma-separated scheme list")
+    camp_p.add_argument("--scale", type=float, default=0.1)
+    camp_p.add_argument("--seed", type=int, default=42)
+    camp_p.add_argument("--journal", default="campaign.jsonl",
+                        help="JSONL journal path (default campaign.jsonl); "
+                             "rerunning resumes from it")
+    camp_p.add_argument("--workers", type=int, default=2,
+                        help="parallel subprocess workers (default 2)")
+    camp_p.add_argument("--timeout", type=float, default=300.0,
+                        help="per-cell timeout in host seconds "
+                             "(default 300)")
+    camp_p.add_argument("--max-attempts", type=int, default=2,
+                        help="attempts per cell before reporting failure")
+    camp_p.add_argument("--max-events", type=int, default=50_000_000,
+                        help="per-cell engine event budget")
+    camp_p.add_argument("--no-resume", action="store_true",
+                        help="ignore and truncate an existing journal")
+    camp_p.add_argument("--inject-rate", type=float, default=0.0,
+                        metavar="PER_KCYCLE",
+                        help="transient-flip rate per 1000 cycles; >0 "
+                             "enables in-situ injection (functional mode)")
+    camp_p.add_argument("--inject-target", default="data",
+                        choices=("data", "metadata"))
+    camp_p.add_argument("--inject-seed", type=int, default=1)
+    camp_p.add_argument("--recovery-retries", type=int, default=3,
+                        help="bounded DUE re-fetch attempts (default 3)")
+    camp_p.add_argument("--sabotage", action="append", default=[],
+                        metavar="CELL=MODE",
+                        help="testing aid: sabotage a cell "
+                             "(MODE: hang|crash|livelock), e.g. "
+                             "--sabotage vecadd/none=livelock")
+
     report_p = sub.add_parser("report",
                               help="assemble a markdown report from saved "
                                    "benchmark results")
@@ -304,6 +345,67 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.resilience.campaign import CampaignRunner, build_cells
+
+    workloads = [w for w in args.workloads.split(",") if w]
+    schemes = [s for s in args.schemes.split(",") if s]
+    for workload in workloads:
+        if workload not in WORKLOAD_REGISTRY:
+            raise SystemExit(f"error: unknown workload {workload!r}")
+    for scheme in schemes:
+        if scheme not in ALL_SCHEMES:
+            raise SystemExit(f"error: unknown scheme {scheme!r}")
+    sabotage = {}
+    for item in args.sabotage:
+        cell, sep, mode = item.partition("=")
+        if not sep or mode not in ("hang", "crash", "livelock"):
+            raise SystemExit(f"error: bad --sabotage spec {item!r} "
+                             "(want CELL=hang|crash|livelock)")
+        sabotage[cell] = mode
+    protection = None
+    resilience = None
+    if args.inject_rate > 0:
+        # In-situ injection decodes real codewords, so the backing
+        # store must be functional.
+        protection = {"functional": True}
+        resilience = {
+            "recovery": {"max_retries": args.recovery_retries},
+            "fault_processes": [{"kind": "transient",
+                                 "rate_per_kcycle": args.inject_rate,
+                                 "target": args.inject_target}],
+            "inject_seed": args.inject_seed,
+        }
+    cells = build_cells(workloads, schemes, scale=args.scale,
+                        seed=args.seed, protection=protection,
+                        resilience=resilience, max_events=args.max_events,
+                        sabotage=sabotage or None)
+    runner = CampaignRunner(args.journal, workers=args.workers,
+                            timeout=args.timeout,
+                            max_attempts=args.max_attempts)
+    summary = runner.run(cells, resume=not args.no_resume, progress=print)
+    rows = []
+    for cell in cells:
+        cell_id = cell["cell"]
+        record = summary.records.get(cell_id, {})
+        if cell_id in summary.skipped:
+            status = "skipped (journal)"
+        elif cell_id in summary.failed:
+            status = "FAILED"
+        else:
+            status = "done"
+        detail = record.get("error", "") or ""
+        if not detail and record.get("cycles") is not None:
+            detail = f"{record['cycles']} cycles"
+        rows.append([cell_id, status, detail])
+    print(format_table(["cell", "status", "detail"], rows,
+                       title=f"campaign: {len(summary.done)} done, "
+                             f"{len(summary.skipped)} skipped, "
+                             f"{len(summary.failed)} failed"))
+    print(f"journal: {args.journal}")
+    return 0 if summary.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.gpu.tracefile import dump_traces, flatten_machine_traces
 
@@ -354,6 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "trace":

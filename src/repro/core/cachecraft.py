@@ -334,6 +334,14 @@ class CacheCraft(ProtectionScheme):
         self._note_meta_miss(meta_line)
         self._meta_read_merged(slice_id, granule, meta_line, bit, done)
 
+    def invalidate_metadata(self, slice_id: int, granule: int) -> None:
+        """Drop the L2 line caching this granule's metadata atom
+        (recovery: the cached copy derives from corrupted DRAM)."""
+        if not self.metadata_in_l2:
+            return  # metadata is re-read from DRAM every time
+        meta_line, _bit = self._meta_line_and_bit(granule)
+        self.ctx.l2_invalidate(slice_id, meta_line)
+
     def _meta_read_merged(self, slice_id: int, granule: int, meta_line: int,
                           bit: int, done: Callable[[], None]) -> None:
         """Fetch a metadata atom, merging concurrent requests for it."""
@@ -463,14 +471,14 @@ class CacheCraft(ProtectionScheme):
         if entry.pending:
             return
         ctx = self.ctx
-        self.functional_verify(entry.granule)
         self._granules_verified.add(1)
         if entry.verify_fills == 0:
             self._granules_no_extra_fetch.add(1)
         # Verification reconstructed every sector's contribution; retain
         # them so future lone-sector misses skip the sibling fetches.
         self._dir_store(slice_id, entry.granule, self._full_local_mask)
-        ctx.sim.schedule(ctx.ecc_check_latency, self._finish, slice_id, entry)
+        self.verify_granules_then(slice_id, (entry.granule,),
+                                  lambda: self._finish(slice_id, entry))
 
     def _finish(self, slice_id: int, entry: _CraftEntry) -> None:
         ctx = self.ctx

@@ -11,9 +11,10 @@ bandwidth:compute) in a realistic regime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.dram.timing import DramTiming
+from repro.resilience.recovery import RecoveryPolicy
 
 
 @dataclass(frozen=True)
@@ -119,11 +120,34 @@ class ProtectionConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """In-situ fault injection + recovery semantics for one run.
+
+    Attaching a ``ResilienceConfig`` to a :class:`SystemConfig` arms
+    the recovery state machine on the protection path; adding
+    ``fault_processes`` (frozen dataclasses from
+    :mod:`repro.resilience.faults`) additionally corrupts the
+    functional backing store during the run — which requires
+    ``protection.functional=True``.
+    """
+
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: Fault processes stepped during the run (hashable frozen dataclasses).
+    fault_processes: Tuple[Any, ...] = ()
+    inject_seed: int = 1
+    #: Cycles between injector ticks (fault-process step window).
+    inject_interval: int = 500
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Everything a run needs."""
 
     gpu: GpuConfig = field(default_factory=GpuConfig)
     protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+    #: Optional fault injection + recovery semantics (None = off: the
+    #: protection path only counts decode outcomes).
+    resilience: Optional[ResilienceConfig] = None
     #: Drain dirty L2 state through the protection write path at the end
     #: so writeback costs are fully accounted.
     flush_at_end: bool = True
@@ -139,6 +163,16 @@ class SystemConfig:
 
     def with_protection(self, **overrides) -> "SystemConfig":
         return replace(self, protection=replace(self.protection, **overrides))
+
+    def with_resilience(self, resilience: Optional[ResilienceConfig] = None,
+                        **overrides) -> "SystemConfig":
+        """Attach (or override fields of) a :class:`ResilienceConfig`."""
+        if resilience is None:
+            resilience = self.resilience if self.resilience is not None \
+                else ResilienceConfig()
+        if overrides:
+            resilience = replace(resilience, **overrides)
+        return replace(self, resilience=resilience)
 
 
 #: All scheme names in canonical presentation order.

@@ -21,7 +21,9 @@ from repro.gpu.l2slice import L2Slice
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.obs.hub import OBS_OFF, Observability
 from repro.protection.base import ProtectionContext, make_scheme
-from repro.sim.engine import Simulator
+from repro.resilience.injector import Injector
+from repro.resilience.recovery import RecoveryController
+from repro.sim.engine import Simulator, Watchdog
 from repro.sim.stats import StatsRegistry
 from repro.workloads.base import GenContext, Workload
 
@@ -61,6 +63,28 @@ class GpuSystem:
             self.functional = FunctionalMemory(layout, self.scheme.code,
                                                sector_bytes=gpu.sector_bytes)
 
+        # Resilience: recovery semantics on the protection path plus an
+        # optional in-situ fault injector against the functional store.
+        res_cfg = config.resilience
+        self.recovery: Optional[RecoveryController] = None
+        self.injector: Optional[Injector] = None
+        if res_cfg is not None:
+            self.recovery = RecoveryController(
+                self.sim, self.stats.child("resilience"),
+                policy=res_cfg.recovery, tracer=self.obs.tracer)
+            if res_cfg.fault_processes:
+                if self.functional is None:
+                    raise ValueError(
+                        "fault injection needs a functional backing store; "
+                        "set protection.functional=True")
+                self.injector = Injector(res_cfg.fault_processes,
+                                         seed=res_cfg.inject_seed,
+                                         interval=res_cfg.inject_interval)
+                self.injector.bind(self.sim, self.functional,
+                                   stats=self.stats.child("injector"),
+                                   tracer=self.obs.tracer)
+                self.recovery.heal_hook = self.injector.heal
+
         self.channels: List[MemoryChannel] = [
             MemoryChannel(f"dram{i}", self.sim, gpu.dram, stats=self.stats,
                           atom_bytes=gpu.sector_bytes,
@@ -76,6 +100,7 @@ class GpuSystem:
             functional=self.functional,
             ecc_check_latency=gpu.ecc_check_latency,
             obs=self.obs,
+            recovery=self.recovery,
         )
         self.scheme.bind(self.ctx)
 
@@ -93,6 +118,10 @@ class GpuSystem:
                 self.slices[s].resident_mask(line, clean_only=clean)),
             install_cb=lambda s, line, mask, **kw: (
                 self.slices[s].install_sectors(line, mask, **kw)),
+            poison_cb=lambda s, line, mask: (
+                self.slices[s].poison_sectors(line, mask)),
+            invalidate_cb=lambda s, line: (
+                self.slices[s].invalidate_line(line)),
         )
 
         self.crossbar = Crossbar(
@@ -133,17 +162,47 @@ class GpuSystem:
         for sm, warp_traces in zip(self.sms, traces):
             for ops in warp_traces:
                 sm.add_warp(ops)
+        if self.injector is not None:
+            self._materialize_footprint(traces)
         return gen_ctx
 
-    def run(self, max_events: Optional[int] = None) -> int:
+    def _materialize_footprint(self, traces) -> None:
+        """Touch every sector the workload will access in the
+        functional store, so the fault injector can strike data
+        *before* its first fetch — otherwise lazily-materialized
+        sectors only become fault targets after they are already
+        cached and verified.
+        """
+        assert self.functional is not None
+        fm = self.functional
+        sector = self.config.gpu.sector_bytes
+        seen = set()
+        for warp_traces in traces:
+            for ops in warp_traces:
+                for op in ops:
+                    for addr in getattr(op, "addresses", ()):
+                        seen.add(addr // sector * sector)
+        granules = set()
+        for addr in sorted(seen):
+            fm.read_sector(addr)
+            granules.add(fm.layout.granule_of(addr))
+        for granule in sorted(granules):
+            fm.metadata_of(granule)
+
+    def run(self, max_events: Optional[int] = None,
+            watchdog: Optional[Watchdog] = None) -> int:
         """Run to completion (including the optional end flush).
 
-        Returns total simulated cycles.
+        ``watchdog`` guards against livelock and wall-clock blowups
+        (see :class:`~repro.sim.engine.Watchdog`).  Returns total
+        simulated cycles.
         """
         self.obs.start()
+        if self.injector is not None:
+            self.injector.arm()
         for sm in self.sms:
             sm.start()
-        self.sim.run(max_events=max_events)
+        self.sim.run(max_events=max_events, watchdog=watchdog)
         if not all(sm.done for sm in self.sms):
             raise RuntimeError("event queue drained but SMs not finished — "
                                "a request was dropped (simulator bug)")
@@ -152,7 +211,7 @@ class GpuSystem:
             for sl in self.slices:
                 sl.flush()
             self.scheme.drain()
-            self.sim.run(max_events=max_events)
+            self.sim.run(max_events=max_events, watchdog=watchdog)
         self.obs.finish()
         return max(kernel_cycles, self.sim.now)
 
@@ -193,11 +252,12 @@ class GpuSystem:
 def run_workload(workload: Workload, config: SystemConfig,
                  gen_ctx: Optional[GenContext] = None,
                  max_events: Optional[int] = None,
-                 obs: Optional[Observability] = None) -> RunResult:
+                 obs: Optional[Observability] = None,
+                 watchdog: Optional[Watchdog] = None) -> RunResult:
     """Build a system, run one workload, return its :class:`RunResult`."""
     system = GpuSystem(config, obs=obs)
     system.load_workload(workload, gen_ctx)
     started = time.perf_counter()
-    cycles = system.run(max_events=max_events)
+    cycles = system.run(max_events=max_events, watchdog=watchdog)
     host_seconds = time.perf_counter() - started
     return system.result(workload.name, cycles, host_seconds)

@@ -15,7 +15,7 @@ the next verification of that granule sees it.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.dram.layout import InlineEccLayout
 from repro.ecc.base import DecodeResult, ErrorCode
@@ -31,6 +31,15 @@ class FunctionalMemory:
         self.sector_bytes = sector_bytes
         self._sectors: Dict[int, bytes] = {}
         self._metadata: Dict[int, bytes] = {}
+        #: Healable data flips per granule: granule -> [(addr, bit)].
+        #: Only flips injected with ``healable=True`` are journaled; a
+        #: recovery re-fetch can revert them (modelling transient link /
+        #: array upsets that do not reproduce on replay).
+        self._data_flips: Dict[int, List[Tuple[int, int]]] = {}
+        #: Healable metadata flips per granule: granule -> [bit].
+        self._meta_flips: Dict[int, List[int]] = {}
+        #: Granules whose stored metadata was corrupted (healable or not).
+        self._meta_faulted: set = set()
 
     # -- data ------------------------------------------------------------------
 
@@ -55,6 +64,10 @@ class FunctionalMemory:
         if len(data) != self.sector_bytes:
             raise ValueError(f"sector writes must be {self.sector_bytes} bytes")
         self._sectors[self._sector_key(addr)] = bytes(data)
+        # A write scrubs: the new data is the truth, so pending healable
+        # flips in this granule must not be "reverted" on top of it.
+        if not self.layout.is_metadata(addr):
+            self._data_flips.pop(self.layout.granule_of(addr), None)
 
     def read_granule(self, granule: int) -> bytes:
         base = self.layout.granule_base(granule)
@@ -91,6 +104,10 @@ class FunctionalMemory:
         """Re-encode after a data write (the writeback path calls this)."""
         if self.code is not None:
             self._metadata[granule] = self._encode(granule)
+        # Re-encoding over current contents makes metadata consistent
+        # again: outstanding metadata faults are absorbed.
+        self._meta_flips.pop(granule, None)
+        self._meta_faulted.discard(granule)
 
     def verify_granule(self, granule: int) -> Optional[DecodeResult]:
         """Run the real decoder against stored data + metadata.
@@ -105,28 +122,86 @@ class FunctionalMemory:
 
     # -- fault injection -------------------------------------------------------
 
-    def inject_bit_flip(self, addr: int, bit: int) -> None:
+    def inject_bit_flip(self, addr: int, bit: int,
+                        healable: bool = False) -> None:
         """Flip one bit of stored data (does not touch metadata).
 
         The granule's metadata is materialized *first* so it reflects
         the pre-fault contents — a soft error strikes data that was
         written with correct ECC, it does not re-encode itself.
+
+        ``healable=True`` journals the flip so :meth:`revert_faults`
+        can undo it: the model for a transient upset that a recovery
+        re-read does not see again.  The default (``False``) is a hard
+        fault that survives replay.
         """
         if not 0 <= bit < self.sector_bytes * 8:
             raise ValueError(f"bit must be in [0, {self.sector_bytes * 8})")
         if not self.layout.is_metadata(addr):
-            self.metadata_of(self.layout.granule_of(addr))
+            granule = self.layout.granule_of(addr)
+            self.metadata_of(granule)
+            if healable:
+                self._data_flips.setdefault(granule, []).append((addr, bit))
         sector = bytearray(self.read_sector(addr))
         sector[bit // 8] ^= 1 << (bit % 8)
         self._sectors[self._sector_key(addr)] = bytes(sector)
 
-    def inject_metadata_corruption(self, granule: int, bit: int) -> None:
-        """Flip one bit of a granule's stored metadata."""
+    def inject_metadata_corruption(self, granule: int, bit: int,
+                                   healable: bool = False) -> None:
+        """Flip one bit of a granule's stored metadata.
+
+        ``healable=True`` journals the flip for :meth:`revert_faults`;
+        either way the granule is remembered as metadata-faulted until
+        its metadata is rewritten (see :meth:`metadata_faulted`).
+        """
         meta = bytearray(self.metadata_of(granule))
         if not 0 <= bit < len(meta) * 8:
             raise ValueError("bit out of metadata range")
         meta[bit // 8] ^= 1 << (bit % 8)
         self._metadata[granule] = bytes(meta)
+        self._meta_faulted.add(granule)
+        if healable:
+            self._meta_flips.setdefault(granule, []).append(bit)
+
+    def metadata_faulted(self, granule: int) -> bool:
+        """True while a granule's stored metadata carries an injected fault."""
+        return granule in self._meta_faulted
+
+    def revert_faults(self, granule: int) -> int:
+        """Undo all journaled (healable) flips in one granule.
+
+        Returns the number of bit flips reverted.  Hard faults
+        (``healable=False``) are not journaled and survive.  The
+        recovery path calls this when replaying a detected-uncorrectable
+        read, modelling a transient fault that does not reproduce.
+        """
+        healed = 0
+        for addr, bit in self._data_flips.pop(granule, ()):  # re-flip back
+            sector = bytearray(self.read_sector(addr))
+            sector[bit // 8] ^= 1 << (bit % 8)
+            self._sectors[self._sector_key(addr)] = bytes(sector)
+            healed += 1
+        meta_bits = self._meta_flips.pop(granule, ())
+        if meta_bits:
+            meta = bytearray(self.metadata_of(granule))
+            for bit in meta_bits:
+                meta[bit // 8] ^= 1 << (bit % 8)
+                healed += 1
+            self._metadata[granule] = bytes(meta)
+            self._meta_faulted.discard(granule)
+        return healed
+
+    def resident_sector_addrs(self) -> List[int]:
+        """Addresses of all resident data sectors (fault-target sampling).
+
+        Sorted for determinism; metadata lives in :attr:`_metadata`, so
+        everything here is in the data region.
+        """
+        return [key * self.sector_bytes for key in sorted(self._sectors)]
+
+    def resident_granules(self) -> List[int]:
+        """Granules with materialized metadata (fault-target sampling)."""
+        return sorted(self._metadata)
 
     @property
     def resident_sectors(self) -> int:

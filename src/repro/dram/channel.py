@@ -36,6 +36,7 @@ class RequestKind(enum.Enum):
     VERIFY_FILL = "verify_fill"    # extra data fetched only to verify a granule
     WRITEBACK = "writeback"        # dirty data eviction
     METADATA_WRITE = "metadata_write"  # metadata update on writeback
+    RETRY = "retry"                # recovery replay of a DUE granule
 
 
 @dataclass

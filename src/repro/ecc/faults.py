@@ -10,6 +10,7 @@ table the reliability experiment (T5) reports.
 from __future__ import annotations
 
 import abc
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
@@ -130,10 +131,15 @@ class CampaignResult:
         return count / self.trials if self.trials else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Rates plus raw counts; safe for ``trials == 0`` (all rates 0.0)."""
         return {
             "code": self.code_name,
             "fault": self.fault_name,
             "trials": self.trials,
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "sdc": self.sdc,
+            "benign": self.benign,
             "corrected_rate": self.rate(self.corrected),
             "detected_rate": self.rate(self.detected),
             "sdc_rate": self.rate(self.sdc),
@@ -148,12 +154,26 @@ class FaultCampaign:
         self.code = code
         self.seed = seed
 
+    def _trial_rng(self, fault_name: str, trial: int) -> random.Random:
+        """A stable per-trial RNG stream.
+
+        Seeded from ``(seed, fault name, trial index)`` via blake2b, so
+        trial *i* sees identical randomness regardless of how many
+        trials the campaign runs and of ``PYTHONHASHSEED`` — results
+        are reproducible across processes and a 100-trial campaign is a
+        strict prefix of a 1000-trial one.
+        """
+        digest = hashlib.blake2b(
+            f"{self.seed}:{fault_name}:{trial}".encode(), digest_size=8
+        ).digest()
+        return random.Random(int.from_bytes(digest, "little"))
+
     def run(self, fault: FaultModel, trials: int = 1000) -> CampaignResult:
-        rng = random.Random((self.seed, fault.name, trials).__hash__() & 0x7FFFFFFF)
         spec = self.code.spec
         result = CampaignResult(spec.name, fault.name, trials)
         codeword_bits = spec.codeword_bytes * 8
-        for _ in range(trials):
+        for trial in range(trials):
+            rng = self._trial_rng(fault.name, trial)
             data = bytes(rng.randrange(256) for _ in range(spec.data_bytes))
             check = self.code.encode(data)
             flips = fault.sample(codeword_bits, rng)

@@ -56,6 +56,12 @@ class L2Slice:
         self._stores = group.counter("store_requests")
         self._atomics = group.counter("atomic_requests")
         self._retries = group.counter("mshr_retries")
+        self._poisoned = group.counter("poisoned_sectors")
+        self._poison_served = group.counter("poison_served")
+        self._invalidated = group.counter("invalidated_lines")
+        # Fast-path guard: poison checks only run once something was
+        # actually poisoned in this slice.
+        self._poison_active = False
 
     # -- protection-context wiring -------------------------------------------
 
@@ -98,6 +104,36 @@ class L2Slice:
             # A fetch-backed install upgrades any write-only copy.
             line.verified_mask |= sector_mask & line.valid_mask
 
+    def poison_sectors(self, line_addr: int, sector_mask: int) -> None:
+        """Recovery gave up on these sectors: mark any resident copies
+        poisoned so consuming loads are counted as propagations."""
+        line = self.cache.probe(line_addr)
+        if line is None or not line.valid:
+            return
+        newly = sector_mask & line.valid_mask & ~line.poisoned_mask
+        if not newly:
+            return
+        line.poisoned_mask |= newly
+        self._poisoned.add(bin(newly).count("1"))
+        self._poison_active = True
+        if self._trace_l2:
+            self._tracer.instant(
+                "l2", "l2_poison", self.sim.now, tid=self.slice_id,
+                args={"line": line_addr, "mask": newly})
+
+    def invalidate_line(self, line_addr: int) -> None:
+        """Drop a line *without* writeback (its contents derive from
+        corrupted memory and must not be written back)."""
+        line = self.cache.probe(line_addr)
+        if line is None or not line.valid:
+            return
+        self.cache.invalidate(line_addr)  # discard any writeback work
+        self._invalidated.add(1)
+        if self._trace_l2:
+            self._tracer.instant(
+                "l2", "l2_invalidate", self.sim.now, tid=self.slice_id,
+                args={"line": line_addr})
+
     # -- request interface (called after crossbar delivery) ---------------------
 
     def receive_load(self, line_addr: int, sector_mask: int,
@@ -115,6 +151,11 @@ class L2Slice:
             token.t_arrive = self.sim.now
             respond = self._stamped_respond(token, respond)
         hit_mask, _line = self.cache.lookup_mask(line_addr, sector_mask)
+        if self._poison_active and _line is not None \
+                and _line.poisoned_mask & hit_mask:
+            # The consumer receives poison instead of silent corruption.
+            self._poison_served.add(
+                bin(_line.poisoned_mask & hit_mask).count("1"))
         miss_mask = sector_mask & ~hit_mask
         if not miss_mask:
             if token is not None:

@@ -30,6 +30,7 @@ category   events
 ``l2``     L2 slice misses and metadata installs
 ``mdcache``  dedicated metadata-cache misses and fills
 ``dram``   per-request DRAM spans (enqueue -> data end)
+``resilience``  fault injections, DUEs, recovery retries, poisoning
 =========  ====================================================
 """
 

@@ -42,7 +42,7 @@ class ProtectionContext:
                  slice_chunk_bytes: int,
                  functional: Optional[FunctionalMemory] = None,
                  ecc_check_latency: int = 4,
-                 obs=None):
+                 obs=None, recovery=None):
         if obs is None:
             from repro.obs.hub import OBS_OFF
             obs = OBS_OFF
@@ -63,17 +63,32 @@ class ProtectionContext:
         self.slice_chunk_bytes = slice_chunk_bytes
         self.functional = functional
         self.ecc_check_latency = ecc_check_latency
+        #: Optional :class:`~repro.resilience.recovery.RecoveryController`;
+        #: ``None`` keeps the legacy count-only verification path.
+        self.recovery = recovery
         # Wired in by the system after slices exist.
         self._resident_cb: Optional[Callable[[int, int], int]] = None
         self._install_cb: Optional[Callable[..., None]] = None
+        self._poison_cb: Optional[Callable[[int, int, int], None]] = None
+        self._invalidate_cb: Optional[Callable[[int, int], None]] = None
 
     # -- wiring -------------------------------------------------------------
 
     def wire_l2(self, resident_cb: Callable[[int, int], int],
-                install_cb: Callable[..., None]) -> None:
-        """Connect L2 probe and install callbacks (called by the system)."""
+                install_cb: Callable[..., None],
+                poison_cb: Optional[Callable[[int, int, int], None]] = None,
+                invalidate_cb: Optional[Callable[[int, int], None]] = None
+                ) -> None:
+        """Connect L2 probe and install callbacks (called by the system).
+
+        ``poison_cb(slice_id, line_addr, mask)`` and
+        ``invalidate_cb(slice_id, line_addr)`` are the recovery layer's
+        hooks; optional so hand-wired test contexts keep working.
+        """
         self._resident_cb = resident_cb
         self._install_cb = install_cb
+        self._poison_cb = poison_cb
+        self._invalidate_cb = invalidate_cb
 
     # -- L2 services ----------------------------------------------------------
 
@@ -102,6 +117,16 @@ class ProtectionContext:
         self._install_cb(slice_id, line_addr, sector_mask,
                          is_metadata=is_metadata, low_priority=low_priority,
                          dirty=dirty, verified=verified)
+
+    def l2_poison(self, slice_id: int, line_addr: int, mask: int) -> None:
+        """Mark sectors of a resident L2 line poisoned (no-op if unwired)."""
+        if self._poison_cb is not None:
+            self._poison_cb(slice_id, line_addr, mask)
+
+    def l2_invalidate(self, slice_id: int, line_addr: int) -> None:
+        """Drop a resident L2 line without writeback (no-op if unwired)."""
+        if self._invalidate_cb is not None:
+            self._invalidate_cb(slice_id, line_addr)
 
     # -- address helpers ------------------------------------------------------
 
@@ -243,22 +268,122 @@ class ProtectionScheme(abc.ABC):
 
     # -- functional verification --------------------------------------------------
 
-    def functional_verify(self, granule: int) -> None:
-        """Run the real decoder when a functional store is configured,
-        and count the outcome.  DUEs are counted, not fatal — the
-        reliability experiments inspect the counters."""
+    def verify_status(self, granule: int) -> Optional[DecodeStatus]:
+        """Run the real decoder and count the outcome.
+
+        Returns the :class:`DecodeStatus` (``None`` when no functional
+        store / no code is configured).  DUEs are counted, not fatal —
+        the reliability experiments inspect the counters.
+        """
         ctx = self.ctx
         assert ctx is not None
         if ctx.functional is None:
             self._decode_clean.add(1)
-            return
+            return None
         result = ctx.functional.verify_granule(granule)
         if result is None or result.status is DecodeStatus.CLEAN:
             self._decode_clean.add(1)
-        elif result.status is DecodeStatus.CORRECTED:
+            return None if result is None else result.status
+        if result.status is DecodeStatus.CORRECTED:
             self._decode_corrected.add(1)
         else:
             self._decode_due.add(1)
+        return result.status
+
+    def functional_verify(self, granule: int) -> None:
+        """Count-only verification (legacy name; see :meth:`verify_status`)."""
+        self.verify_status(granule)
+
+    def verify_granules_then(self, slice_id: int, granules,
+                             proceed: Callable[[], None]) -> None:
+        """Verify granules, then run ``proceed`` after the check latency.
+
+        Without a recovery controller this is exactly the legacy fetch
+        epilogue: one counted decode per entry (duplicates included),
+        then ``proceed`` scheduled ``ecc_check_latency`` cycles out.
+        With recovery, each *distinct* granule runs through the
+        recovery state machine (correction stall, bounded re-fetch,
+        poisoning) and ``proceed`` fires only once all are resolved.
+        """
+        ctx = self.ctx
+        assert ctx is not None
+        recovery = ctx.recovery
+        if recovery is None:
+            for granule in granules:
+                self.functional_verify(granule)
+            ctx.sim.schedule(ctx.ecc_check_latency, proceed)
+            return
+        distinct = list(dict.fromkeys(granules))
+        if not distinct:
+            ctx.sim.schedule(ctx.ecc_check_latency, proceed)
+            return
+        remaining = [len(distinct)]
+
+        def resolved() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                ctx.sim.schedule(ctx.ecc_check_latency, proceed)
+
+        for granule in distinct:
+            recovery.resolve(self, slice_id, granule, resolved)
+
+    # -- recovery surface ---------------------------------------------------------
+
+    def _granule_lines(self, granule: int):
+        """Yield ``(line_addr, sector_mask)`` covering one granule."""
+        ctx = self.ctx
+        assert ctx is not None
+        base = ctx.layout.granule_base(granule)
+        end = base + ctx.layout.granule_bytes
+        addr = base
+        while addr < end:
+            line_addr = addr // ctx.line_bytes
+            line_base = line_addr * ctx.line_bytes
+            upto = min(end, line_base + ctx.line_bytes)
+            mask = 0
+            for s in range((addr - line_base) // ctx.sector_bytes,
+                           (upto - line_base + ctx.sector_bytes - 1)
+                           // ctx.sector_bytes):
+                mask |= 1 << s
+            yield line_addr, mask
+            addr = upto
+
+    def refetch_granule(self, slice_id: int, granule: int,
+                        on_done: Callable[[], None]) -> None:
+        """Re-read a granule's data + metadata atom (recovery replay).
+
+        All traffic is tagged :attr:`RequestKind.RETRY` so recovery
+        bandwidth is a distinct line in the traffic breakdown.
+        """
+        ctx = self.ctx
+        assert ctx is not None
+        parts = list(self._granule_lines(granule))
+        remaining = [len(parts) + 1]
+
+        def one_done() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                on_done()
+
+        for line_addr, mask in parts:
+            self.read_mask(slice_id, line_addr, mask, RequestKind.RETRY,
+                           one_done)
+        ctx.dram_read(slice_id, ctx.layout.metadata_addr(granule),
+                      RequestKind.RETRY, one_done)
+
+    def poison_granule(self, slice_id: int, granule: int) -> None:
+        """Mark the granule's resident L2 sectors poisoned."""
+        for line_addr, mask in self._granule_lines(granule):
+            assert self.ctx is not None
+            self.ctx.l2_poison(slice_id, line_addr, mask)
+
+    def invalidate_metadata(self, slice_id: int, granule: int) -> None:
+        """Drop any cached copy of the granule's metadata.
+
+        The base implementation is a no-op: schemes that re-read
+        metadata from DRAM on every verification have nothing to
+        invalidate.  Caching schemes override this.
+        """
 
     def functional_writeback(self, line_addr: int, dirty_mask: int) -> None:
         """Commit dirty sectors to the functional store and re-encode

@@ -80,6 +80,20 @@ class DedicatedMetadataCache:
             return evicted.line_addr * self.atom_bytes
         return None
 
+    def invalidate(self, atom_addr: int) -> bool:
+        """Drop an atom *without* writeback (recovery: the cached copy
+        derives from corrupted metadata and must not reach DRAM).
+        Returns True if an entry was dropped.
+        """
+        line_addr = self._cache.line_addr_of(atom_addr)
+        line = self._cache.probe(line_addr)
+        dropped = line is not None and line.valid
+        self._cache.invalidate(line_addr)  # discard even if dirty
+        if self._trace and dropped:
+            self._tracer.instant("mdcache", f"{self.name}_invalidate",
+                                 self._sim.now, args={"atom": atom_addr})
+        return dropped
+
     def mark_dirty(self, atom_addr: int) -> bool:
         """Dirty an atom if present; returns hit."""
         line = self._cache.probe(self._cache.line_addr_of(atom_addr))

@@ -83,11 +83,14 @@ class SidebandEcc(ProtectionScheme):
 
         def done() -> None:
             base = line_addr * ctx.line_bytes
-            for start, length in self._mask_runs(sector_mask, ctx.sectors_per_line):
-                for s in range(start, start + length):
-                    self.functional_verify(
-                        ctx.layout.granule_of(base + s * ctx.sector_bytes))
-            ctx.sim.schedule(ctx.ecc_check_latency, on_ready, sector_mask)
+            granules = [
+                ctx.layout.granule_of(base + s * ctx.sector_bytes)
+                for start, length in self._mask_runs(sector_mask,
+                                                     ctx.sectors_per_line)
+                for s in range(start, start + length)
+            ]
+            self.verify_granules_then(slice_id, granules,
+                                      lambda: on_ready(sector_mask))
 
         self.read_mask(slice_id, line_addr, sector_mask, RequestKind.DATA, done)
 
@@ -173,11 +176,14 @@ class InlineSectorCode(ProtectionScheme):
             if remaining[0]:
                 return
             base = line_addr * ctx.line_bytes
-            for start, length in self._mask_runs(sector_mask, ctx.sectors_per_line):
-                for s in range(start, start + length):
-                    self.functional_verify(
-                        ctx.layout.granule_of(base + s * ctx.sector_bytes))
-            ctx.sim.schedule(ctx.ecc_check_latency, on_ready, sector_mask)
+            granules = [
+                ctx.layout.granule_of(base + s * ctx.sector_bytes)
+                for start, length in self._mask_runs(sector_mask,
+                                                     ctx.sectors_per_line)
+                for s in range(start, start + length)
+            ]
+            self.verify_granules_then(slice_id, granules,
+                                      lambda: on_ready(sector_mask))
 
         self.read_mask(slice_id, line_addr, sector_mask, RequestKind.DATA,
                        part_done)
@@ -267,6 +273,13 @@ class MetadataCacheScheme(InlineSectorCode):
         if victim is not None:
             self._meta_writes.add(1)
             ctx.dram_write(slice_id, victim, RequestKind.METADATA_WRITE)
+
+    def invalidate_metadata(self, slice_id: int, granule: int) -> None:
+        """Drop the granule's cached metadata atom (corrupted in DRAM:
+        the SRAM copy must not serve further verifications)."""
+        ctx = self.ctx
+        assert ctx is not None
+        self._mdcs[slice_id].invalidate(ctx.layout.metadata_atom(granule))
 
     def _fetch_merged(self, slice_id: int, atom_addr: int,
                       done: Optional[Callable[[], None]], dirty: bool) -> None:
@@ -360,6 +373,13 @@ class SectorMetadataInL2(InlineSectorCode):
         ctx.l2_install(slice_id, meta_line, bit, is_metadata=True,
                        dirty=True, verified=False, low_priority=True)
 
+    def invalidate_metadata(self, slice_id: int, granule: int) -> None:
+        """Drop the L2 line holding the granule's metadata atom."""
+        ctx = self.ctx
+        assert ctx is not None
+        meta_line, _bit = self._meta_location(ctx.layout.metadata_atom(granule))
+        ctx.l2_invalidate(slice_id, meta_line)
+
     def writeback(self, slice_id: int, line_addr: int, dirty_mask: int,
                   valid_mask: int, is_metadata: bool) -> None:
         if is_metadata:
@@ -448,11 +468,12 @@ class InlineFullGranule(MetadataCacheScheme):
             pending[0] -= 1
             if pending[0]:
                 return
-            for granule in granules:
-                self.functional_verify(granule)
+            # Sibling fills install before verification resolves; under
+            # recovery a DUE granule's sectors get poisoned afterwards.
             for line, mask in sibling_fills:
                 ctx.l2_install(slice_id, line, mask)
-            ctx.sim.schedule(ctx.ecc_check_latency, on_ready, granted[0])
+            self.verify_granules_then(slice_id, granules,
+                                      lambda: on_ready(granted[0]))
 
         for granule in granules:
             for g_line, g_mask in self._granule_lines(granule):

@@ -1,0 +1,43 @@
+"""In-situ fault injection and recovery for timed simulations.
+
+Two layers:
+
+* **Injection + recovery** — :mod:`repro.resilience.faults` defines
+  configurable fault processes (transient flips, stuck-at regions,
+  burst events); :mod:`repro.resilience.injector` drives them against
+  the functional backing store *during* a timed run;
+  :mod:`repro.resilience.recovery` gives the protection path recovery
+  semantics (correction latency, bounded re-fetch with backoff,
+  poisoning, metadata invalidation).
+* **Campaign resilience** — :mod:`repro.resilience.campaign` fans runs
+  out to subprocess workers with timeouts, crash isolation, retries
+  and a JSONL journal for checkpoint/resume
+  (:mod:`repro.resilience.worker` is the subprocess entry point).
+
+The campaign modules are intentionally *not* imported here: they pull
+in :mod:`repro.core`, which itself imports
+:mod:`repro.resilience.recovery` — import them directly.
+"""
+
+from repro.resilience.faults import (
+    FAULT_PROCESSES,
+    BurstEvent,
+    FaultProcess,
+    StuckAtRegion,
+    TransientFlips,
+    make_process,
+)
+from repro.resilience.injector import Injector
+from repro.resilience.recovery import RecoveryController, RecoveryPolicy
+
+__all__ = [
+    "FaultProcess",
+    "TransientFlips",
+    "StuckAtRegion",
+    "BurstEvent",
+    "FAULT_PROCESSES",
+    "make_process",
+    "Injector",
+    "RecoveryController",
+    "RecoveryPolicy",
+]

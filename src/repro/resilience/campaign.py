@@ -1,0 +1,285 @@
+"""Resilient campaign runner: subprocess fan-out with checkpoint/resume.
+
+A *campaign* is a list of JSON cell specs (see
+:mod:`repro.resilience.worker`).  The :class:`CampaignRunner` executes
+them in parallel subprocess workers with:
+
+* **crash isolation** — a worker that dies (segfault, ``os._exit``,
+  unhandled exception) fails only its own cell;
+* **per-run timeouts** — a hung worker is killed after ``timeout``
+  host seconds;
+* **retry with backoff** — failed cells are re-queued up to
+  ``max_attempts`` times with exponentially growing delays, then
+  recorded as failed (the sweep continues);
+* **a JSONL journal** — one flushed record per outcome.  Re-running
+  with ``resume=True`` skips every cell the journal already marks
+  ``done``, so a campaign killed mid-flight completes only the
+  unfinished cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def build_cells(workloads: Sequence[str], schemes: Sequence[str],
+                scale: float = 0.3, seed: int = 42,
+                gpu: Optional[Dict[str, Any]] = None,
+                protection: Optional[Dict[str, Any]] = None,
+                resilience: Optional[Dict[str, Any]] = None,
+                max_events: Optional[int] = None,
+                max_wall_seconds: Optional[float] = None,
+                sabotage: Optional[Dict[str, str]] = None
+                ) -> List[Dict[str, Any]]:
+    """The standard workload x scheme grid as a list of cell specs.
+
+    ``sabotage`` maps cell ids (``"workload/scheme"``) to a sabotage
+    mode — a testing aid for exercising the runner's fault handling.
+    """
+    cells = []
+    for workload in workloads:
+        for scheme in schemes:
+            cell_id = f"{workload}/{scheme}"
+            spec: Dict[str, Any] = {
+                "cell": cell_id, "workload": workload, "scheme": scheme,
+                "scale": scale, "seed": seed,
+            }
+            if gpu:
+                spec["gpu"] = dict(gpu)
+            if protection:
+                spec["protection"] = dict(protection)
+            if resilience is not None:
+                spec["resilience"] = resilience
+            if max_events is not None:
+                spec["max_events"] = max_events
+            if max_wall_seconds is not None:
+                spec["max_wall_seconds"] = max_wall_seconds
+            if sabotage and cell_id in sabotage:
+                spec["sabotage"] = sabotage[cell_id]
+            cells.append(spec)
+    return cells
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome of one :meth:`CampaignRunner.run` invocation."""
+
+    done: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    #: Cells skipped because the journal already marked them done.
+    skipped: List[str] = field(default_factory=list)
+    #: Final journal record per executed cell id.
+    records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell ended in failure."""
+        return not self.failed
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    def __init__(self, cell: Dict[str, Any], attempt: int,
+                 proc: subprocess.Popen, deadline: Optional[float]):
+        self.cell = cell
+        self.attempt = attempt
+        self.proc = proc
+        self.deadline = deadline
+        self.started = time.monotonic()
+
+
+class CampaignRunner:
+    """Fans cell specs out to subprocess workers; journals outcomes."""
+
+    def __init__(self, journal_path: str, workers: int = 2,
+                 timeout: Optional[float] = None, max_attempts: int = 2,
+                 retry_backoff: float = 0.5,
+                 python: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.journal_path = Path(journal_path)
+        self.workers = workers
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.python = python or sys.executable
+        self._journal_fh = None
+
+    # -- journal ---------------------------------------------------------------
+
+    def completed_cells(self) -> Dict[str, Dict[str, Any]]:
+        """Cells the journal marks ``done`` (for resume)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        if not self.journal_path.exists():
+            return done
+        with self.journal_path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail write from a killed campaign
+                if record.get("status") == "done":
+                    done[record["cell"]] = record
+        return done
+
+    def _journal(self, record: Dict[str, Any]) -> None:
+        assert self._journal_fh is not None
+        self._journal_fh.write(json.dumps(record) + "\n")
+        self._journal_fh.flush()
+        os.fsync(self._journal_fh.fileno())
+
+    # -- workers ---------------------------------------------------------------
+
+    def _spawn(self, cell: Dict[str, Any], attempt: int) -> _Running:
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_dir if not existing
+                             else src_dir + os.pathsep + existing)
+        proc = subprocess.Popen(
+            [self.python, "-m", "repro.resilience.worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=env)
+        assert proc.stdin is not None
+        proc.stdin.write(json.dumps(cell))
+        proc.stdin.close()
+        # communicate() must not try to flush the already-closed pipe.
+        proc.stdin = None
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        return _Running(cell, attempt, proc, deadline)
+
+    @staticmethod
+    def _harvest(run: _Running) -> Dict[str, Any]:
+        """Collect a finished worker's result (or error description)."""
+        stdout, stderr = run.proc.communicate()
+        if run.proc.returncode == 0:
+            for line in stdout.splitlines():
+                line = line.strip()
+                if line.startswith("{"):
+                    try:
+                        return json.loads(line)
+                    except ValueError:
+                        break
+        error = f"worker exited with status {run.proc.returncode}"
+        for line in stdout.splitlines():  # worker's own error object
+            line = line.strip()
+            if line.startswith("{"):
+                try:
+                    parsed = json.loads(line)
+                    error = parsed.get("error", error)
+                except ValueError:
+                    pass
+        if stderr.strip():
+            error += f"; stderr: {stderr.strip().splitlines()[-1]}"
+        return {"status": "error", "error": error}
+
+    # -- the sweep --------------------------------------------------------------
+
+    def run(self, cells: Sequence[Dict[str, Any]], resume: bool = True,
+            progress=None) -> CampaignSummary:
+        """Execute a campaign; returns its :class:`CampaignSummary`.
+
+        ``progress`` is an optional callable receiving one line of
+        human-readable status per event (spawn/done/fail/retry).
+        """
+        summary = CampaignSummary()
+        done = self.completed_cells() if resume else {}
+        if not resume and self.journal_path.exists():
+            self.journal_path.unlink()
+        pending: List[tuple] = []  # (not_before, attempt, cell)
+        for cell in cells:
+            cell_id = cell["cell"]
+            if cell_id in done:
+                summary.skipped.append(cell_id)
+                summary.records[cell_id] = done[cell_id]
+                continue
+            pending.append((0.0, 1, cell))
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._journal_fh = self.journal_path.open("a")
+        running: List[_Running] = []
+        say = progress or (lambda _line: None)
+        try:
+            while pending or running:
+                now = time.monotonic()
+                # Launch while capacity and due work exist.
+                while len(running) < self.workers:
+                    due = next((i for i, (nb, _a, _c) in enumerate(pending)
+                                if nb <= now), None)
+                    if due is None:
+                        break
+                    _nb, attempt, cell = pending.pop(due)
+                    run = self._spawn(cell, attempt)
+                    running.append(run)
+                    say(f"start {cell['cell']} (attempt {attempt})")
+                # Poll in-flight workers.
+                still: List[_Running] = []
+                for run in running:
+                    code = run.proc.poll()
+                    timed_out = (code is None and run.deadline is not None
+                                 and now >= run.deadline)
+                    if code is None and not timed_out:
+                        still.append(run)
+                        continue
+                    if timed_out:
+                        run.proc.kill()
+                        run.proc.communicate()
+                        result = {"status": "error",
+                                  "error": f"timeout after {self.timeout}s"}
+                    else:
+                        result = self._harvest(run)
+                    elapsed = round(time.monotonic() - run.started, 3)
+                    cell_id = run.cell["cell"]
+                    if result.get("status") == "ok":
+                        self._journal({"cell": cell_id, "status": "done",
+                                       "attempts": run.attempt,
+                                       "elapsed": elapsed, "result": result})
+                        summary.done.append(cell_id)
+                        summary.records[cell_id] = result
+                        say(f"done  {cell_id} ({elapsed}s)")
+                        continue
+                    error = result.get("error", "unknown failure")
+                    if run.attempt < self.max_attempts:
+                        delay = self.retry_backoff * (2 ** (run.attempt - 1))
+                        self._journal({"cell": cell_id,
+                                       "status": "attempt_failed",
+                                       "attempts": run.attempt,
+                                       "error": error, "retry_in": delay})
+                        pending.append((time.monotonic() + delay,
+                                        run.attempt + 1, run.cell))
+                        say(f"retry {cell_id}: {error} "
+                            f"(attempt {run.attempt + 1} in {delay}s)")
+                    else:
+                        record = {"cell": cell_id, "status": "failed",
+                                  "attempts": run.attempt, "error": error,
+                                  "elapsed": elapsed}
+                        self._journal(record)
+                        summary.failed.append(cell_id)
+                        summary.records[cell_id] = record
+                        say(f"FAIL  {cell_id}: {error}")
+                running = still
+                if pending or running:
+                    time.sleep(0.02)
+        finally:
+            for run in running:  # interrupted: leave no orphans behind
+                try:
+                    run.proc.kill()
+                    run.proc.communicate()
+                except (OSError, ValueError):
+                    pass
+            self._journal_fh.close()
+            self._journal_fh = None
+        return summary

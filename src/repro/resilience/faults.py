@@ -1,0 +1,190 @@
+"""Configurable fault processes for in-situ injection.
+
+A :class:`FaultProcess` describes *when and where* bits flip in the
+backing store during a timed run; the :class:`~repro.resilience.injector.Injector`
+calls :meth:`FaultProcess.step` once per injection window and the
+process applies zero or more corruptions through the injector's
+surface (``flip_data`` / ``flip_metadata`` / ``assert_stuck``).
+
+Processes are frozen dataclasses so they can live inside the hashable
+:class:`~repro.core.config.SystemConfig` and round-trip through JSON
+for campaign cell specs (:func:`make_process` / ``to_dict``).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Optional
+
+
+class FaultProcess(abc.ABC):
+    """One source of faults, stepped once per injection window."""
+
+    #: Registry key; also emitted by :meth:`to_dict` for round-tripping.
+    kind: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def step(self, injector: Any, rng: random.Random, now: int,
+             window: int) -> None:
+        """Apply this window's faults.
+
+        ``now`` is the current cycle and ``window`` the cycles elapsed
+        since the previous step; the process decides how many events
+        fall in ``(now - window, now]`` and applies them via
+        ``injector``.
+        """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable spec; inverse of :func:`make_process`."""
+        spec = dataclasses.asdict(self)  # type: ignore[call-overload]
+        spec["kind"] = self.kind
+        return spec
+
+
+@dataclass(frozen=True)
+class TransientFlips(FaultProcess):
+    """Rate-based transient single-bit flips on resident memory.
+
+    ``rate_per_kcycle`` is the expected number of flips per 1000 cycles
+    across the whole resident footprint.  ``target`` selects the data
+    region or granule metadata.  Transients are journaled as healable
+    by default: a recovery re-read does not see them again.
+    """
+
+    rate_per_kcycle: float = 0.5
+    target: str = "data"
+    healable: bool = True
+
+    kind: ClassVar[str] = "transient"
+
+    def __post_init__(self) -> None:
+        """Validate the target region."""
+        if self.target not in ("data", "metadata"):
+            raise ValueError(f"target must be data|metadata, got {self.target!r}")
+        if self.rate_per_kcycle < 0:
+            raise ValueError("rate_per_kcycle must be >= 0")
+
+    def step(self, injector: Any, rng: random.Random, now: int,
+             window: int) -> None:
+        """Draw this window's flip count and scatter the flips."""
+        expected = self.rate_per_kcycle * window / 1000.0
+        count = int(expected)
+        if rng.random() < expected - count:
+            count += 1
+        for _ in range(count):
+            if self.target == "data":
+                addr = injector.sample_data_addr(rng)
+                if addr is None:
+                    continue
+                injector.flip_data(addr, rng.randrange(injector.sector_bits),
+                                   healable=self.healable)
+            else:
+                granule = injector.sample_granule(rng)
+                if granule is None:
+                    continue
+                injector.flip_metadata(granule,
+                                       rng.randrange(injector.meta_bits),
+                                       healable=self.healable)
+
+
+@dataclass(frozen=True)
+class StuckAtRegion(FaultProcess):
+    """A hard stuck-at-1 fault over a fixed address region.
+
+    Every ``period`` cycles the faulty bit of each sector in
+    ``[base, base + span_bytes)`` is re-asserted to 1 — rewrites do not
+    clear it for long, and recovery replays read the same bad value
+    (``healable=False`` by construction).
+    """
+
+    base: int = 0
+    span_bytes: int = 64
+    bit: int = 0
+    period: int = 2000
+
+    kind: ClassVar[str] = "stuck-at"
+
+    def __post_init__(self) -> None:
+        """Validate geometry."""
+        if self.span_bytes <= 0 or self.period <= 0:
+            raise ValueError("span_bytes and period must be positive")
+
+    def step(self, injector: Any, rng: random.Random, now: int,
+             window: int) -> None:
+        """Re-assert the stuck bits when a period boundary passed."""
+        if now // self.period != (now - window) // self.period:
+            injector.assert_stuck(self.base, self.span_bytes, self.bit)
+
+
+@dataclass(frozen=True)
+class BurstEvent(FaultProcess):
+    """A one-shot multi-bit burst at a given cycle.
+
+    Flips ``bits`` distinct bits in one sector (``target="data"``) or
+    one granule's metadata (``target="metadata"``).  ``addr=None``
+    samples a resident victim at fire time.  Bursts default to hard
+    faults (``healable=False``): replay re-reads the same corruption,
+    exhausting the bounded retry budget and exercising poisoning.
+    """
+
+    at_cycle: int = 0
+    addr: Optional[int] = None
+    bits: int = 4
+    target: str = "data"
+    healable: bool = False
+
+    kind: ClassVar[str] = "burst"
+
+    def __post_init__(self) -> None:
+        """Validate burst shape."""
+        if self.target not in ("data", "metadata"):
+            raise ValueError(f"target must be data|metadata, got {self.target!r}")
+        if self.bits < 1:
+            raise ValueError("bits must be >= 1")
+
+    def step(self, injector: Any, rng: random.Random, now: int,
+             window: int) -> None:
+        """Fire once when ``at_cycle`` falls inside this window."""
+        if not (now - window < self.at_cycle <= now):
+            return
+        if self.target == "data":
+            addr = self.addr
+            if addr is None:
+                addr = injector.sample_data_addr(rng)
+            if addr is None:
+                return
+            for bit in rng.sample(range(injector.sector_bits),
+                                  min(self.bits, injector.sector_bits)):
+                injector.flip_data(addr, bit, healable=self.healable)
+        else:
+            granule = (injector.granule_of(self.addr)
+                       if self.addr is not None
+                       else injector.sample_granule(rng))
+            if granule is None:
+                return
+            for bit in rng.sample(range(injector.meta_bits),
+                                  min(self.bits, injector.meta_bits)):
+                injector.flip_metadata(granule, bit, healable=self.healable)
+
+
+#: Registry of fault-process kinds for spec round-tripping.
+FAULT_PROCESSES: Dict[str, type] = {
+    TransientFlips.kind: TransientFlips,
+    StuckAtRegion.kind: StuckAtRegion,
+    BurstEvent.kind: BurstEvent,
+}
+
+
+def make_process(kind: str, **kwargs: Any) -> FaultProcess:
+    """Instantiate a fault process by registry kind (JSON spec inverse)."""
+    try:
+        cls = FAULT_PROCESSES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault process {kind!r}; "
+            f"known: {sorted(FAULT_PROCESSES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,126 @@
+"""Subprocess entry point for one campaign cell.
+
+Reads a JSON *cell spec* from stdin, runs the described simulation,
+and writes a single JSON result object to stdout.  Run as::
+
+    python -m repro.resilience.worker < cell.json
+
+The process boundary is the isolation mechanism: a crash, hang or
+interpreter fault in one cell cannot take down the campaign runner.
+Exit status 0 means the result object has ``"status": "ok"``; any
+failure exits non-zero after (best-effort) printing a
+``"status": "error"`` object.
+
+Cell spec fields (all optional except ``workload``/``scheme``)::
+
+    {"cell": "spmv/cachecraft", "workload": "spmv", "scheme": "cachecraft",
+     "scale": 0.1, "seed": 42, "workload_params": {}, "gpu": {...},
+     "protection": {...},
+     "resilience": {"recovery": {...RecoveryPolicy fields...},
+                    "fault_processes": [{"kind": "transient", ...}],
+                    "inject_seed": 1, "inject_interval": 500},
+     "max_events": 20000000, "max_wall_seconds": 120,
+     "sabotage": null}
+
+``sabotage`` is a test hook for exercising the runner's fault
+handling: ``"hang"`` sleeps forever (runner timeout must kill it),
+``"crash"`` exits hard with a non-zero status, and ``"livelock"``
+schedules a zero-delay self-rescheduling event so the engine watchdog
+fires.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict
+
+from repro.analysis.harness import bench_config, bench_gen_ctx
+from repro.core.config import ResilienceConfig
+from repro.core.system import GpuSystem
+from repro.resilience.faults import make_process
+from repro.resilience.recovery import RecoveryPolicy
+from repro.sim.engine import Watchdog
+from repro.workloads import make_workload
+
+
+def build_cell_config(spec: Dict[str, Any]):
+    """Translate a JSON cell spec into a :class:`SystemConfig`."""
+    config = bench_config(**spec.get("gpu", {}))
+    config = config.with_scheme(spec["scheme"], **spec.get("protection", {}))
+    res = spec.get("resilience")
+    if res is not None:
+        processes = tuple(
+            make_process(**dict(p)) for p in res.get("fault_processes", ())
+        )
+        config = config.with_resilience(ResilienceConfig(
+            recovery=RecoveryPolicy(**res.get("recovery", {})),
+            fault_processes=processes,
+            inject_seed=res.get("inject_seed", 1),
+            inject_interval=res.get("inject_interval", 500),
+        ))
+    return config
+
+
+def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell spec and return its JSON-ready result object."""
+    sabotage = spec.get("sabotage")
+    if sabotage == "hang":
+        time.sleep(3600)
+    elif sabotage == "crash":
+        os._exit(13)
+
+    config = build_cell_config(spec)
+    system = GpuSystem(config)
+    workload = make_workload(spec["workload"],
+                             **spec.get("workload_params", {}))
+    gen_ctx = bench_gen_ctx(config, scale=spec.get("scale", 0.3),
+                            seed=spec.get("seed", 42))
+    system.load_workload(workload, gen_ctx)
+
+    if sabotage == "livelock":
+        def spin() -> None:
+            """Reschedule forever at the same cycle (watchdog bait)."""
+            system.sim.schedule(0, spin)
+        system.sim.schedule(0, spin)
+
+    watchdog = Watchdog(max_wall_seconds=spec.get("max_wall_seconds"))
+    started = time.perf_counter()
+    cycles = system.run(max_events=spec.get("max_events"), watchdog=watchdog)
+    host_seconds = time.perf_counter() - started
+    result = system.result(workload.name, cycles, host_seconds)
+    resilience_stats = {
+        k: v for k, v in result.stats.items()
+        if k.startswith(("resilience.", "injector."))
+    }
+    return {
+        "cell": spec.get("cell", f"{spec['workload']}/{spec['scheme']}"),
+        "status": "ok",
+        "workload": workload.name,
+        "scheme": spec["scheme"],
+        "cycles": cycles,
+        "traffic": result.traffic,
+        "resilience": resilience_stats,
+        "host_seconds": round(host_seconds, 3),
+    }
+
+
+def main() -> int:
+    """Read a cell spec from stdin, run it, print the result JSON."""
+    spec = json.load(sys.stdin)
+    try:
+        out = run_cell(spec)
+    except Exception as exc:  # noqa: BLE001 — the whole point is isolation
+        json.dump({"cell": spec.get("cell", "?"), "status": "error",
+                   "error": f"{type(exc).__name__}: {exc}"}, sys.stdout)
+        sys.stdout.write("\n")
+        return 1
+    json.dump(out, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

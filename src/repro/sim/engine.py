@@ -13,11 +13,79 @@ bit-for-bit reproducible regardless of heap internals.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised for engine misuse (scheduling in the past, runaway runs)."""
+
+
+class Watchdog:
+    """Livelock / wall-clock guard for :meth:`Simulator.run`.
+
+    Two independent trip conditions, both checked every
+    ``check_every_events`` executed events (cheap: one counter increment
+    per event between checks):
+
+    * **No progress** — the clock has not advanced across
+      ``max_stalled_checks`` consecutive checks.  A handful of events
+      sharing one cycle is normal (a fetch fan-out); hundreds of
+      thousands at the same cycle means something is rescheduling
+      itself with zero delay forever.
+    * **Wall clock** — host time since :meth:`start` exceeded
+      ``max_wall_seconds`` (``None`` disables).
+
+    Either condition raises :class:`SimulationError`.  The same
+    instance may guard several runs; :meth:`start` resets its state.
+    """
+
+    def __init__(self, check_every_events: int = 50_000,
+                 max_stalled_checks: int = 3,
+                 max_wall_seconds: Optional[float] = None):
+        if check_every_events < 1:
+            raise ValueError("check_every_events must be >= 1")
+        if max_stalled_checks < 1:
+            raise ValueError("max_stalled_checks must be >= 1")
+        self.check_every_events = check_every_events
+        self.max_stalled_checks = max_stalled_checks
+        self.max_wall_seconds = max_wall_seconds
+        self._since_check = 0
+        self._last_now: Optional[int] = None
+        self._stalled_checks = 0
+        self._started_at = 0.0
+
+    def start(self) -> None:
+        """Reset state at the beginning of a run."""
+        self._since_check = 0
+        self._last_now = None
+        self._stalled_checks = 0
+        self._started_at = time.monotonic()
+
+    def on_event(self, now: int) -> None:
+        """Record one executed event; raise if a trip condition holds."""
+        self._since_check += 1
+        if self._since_check < self.check_every_events:
+            return
+        self._since_check = 0
+        if self._last_now is not None and now == self._last_now:
+            self._stalled_checks += 1
+            if self._stalled_checks >= self.max_stalled_checks:
+                raise SimulationError(
+                    f"watchdog: no progress — clock stuck at cycle {now} "
+                    f"for {self._stalled_checks * self.check_every_events} "
+                    f"events (livelock?)"
+                )
+        else:
+            self._stalled_checks = 0
+        self._last_now = now
+        if self.max_wall_seconds is not None:
+            elapsed = time.monotonic() - self._started_at
+            if elapsed > self.max_wall_seconds:
+                raise SimulationError(
+                    f"watchdog: wall-clock budget exceeded "
+                    f"({elapsed:.1f}s > {self.max_wall_seconds}s at cycle {now})"
+                )
 
 
 class Simulator:
@@ -102,7 +170,8 @@ class Simulator:
         """Number of queued non-daemon events."""
         return len(self._queue) - self._daemons
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None,
+            watchdog: Optional[Watchdog] = None) -> int:
         """Drain the event queue.
 
         Parameters
@@ -112,6 +181,9 @@ class Simulator:
         max_events:
             Safety valve against runaway simulations; raises
             :class:`SimulationError` when exceeded.
+        watchdog:
+            Optional :class:`Watchdog` consulted after every event for
+            no-progress and wall-clock trip conditions.
 
         Returns the simulation time after the run.
         """
@@ -119,6 +191,8 @@ class Simulator:
             raise SimulationError("run() re-entered from inside an event")
         self._running = True
         executed = 0
+        if watchdog is not None:
+            watchdog.start()
         try:
             while len(self._queue) > self._daemons:
                 when, _seq, fn, args = self._queue[0]
@@ -133,6 +207,8 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a livelock"
                     )
+                if watchdog is not None:
+                    watchdog.on_event(self._now)
         finally:
             self._running = False
         if until is not None and self._now < until:

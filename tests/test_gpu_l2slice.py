@@ -155,6 +155,132 @@ class TestEvictionAndFlush:
         assert line.is_metadata and line.dirty_mask == 0b0001
 
 
+class TestMshrRetryPath:
+    """The full-MSHR retry loop (`_retry_load`): bounded starvation,
+    retry accounting, and interaction with MSHR occupancy."""
+
+    def test_retry_interval_bounds_starvation(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.mshrs.capacity = 1
+        served = {}
+        for line in range(1, 6):
+            sl.receive_load(line, 1,
+                            lambda m, line=line: served.setdefault(
+                                line, sim.now))
+        sim.run()
+        assert sorted(served) == [1, 2, 3, 4, 5]
+        # Each queued load waits at most one fetch round-trip plus one
+        # retry interval behind its predecessor — no unbounded spin.
+        times = [served[line] for line in sorted(served)]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        first_latency = times[0]
+        assert all(gap <= first_latency + L2Slice.RETRY_CYCLES
+                   for gap in gaps)
+
+    def test_retry_counter_counts_each_stalled_attempt(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.mshrs.capacity = 1
+        sl.receive_load(1, 1, lambda m: None)
+        sl.receive_load(2, 1, lambda m: None)
+        sim.run()
+        stats = sl.stats.flatten()
+        # Load 2 stalls at least once and each stall is counted.
+        assert stats["l2s0.mshr_retries"] >= 1
+        assert stats["l2s0.mshr_retries"] == \
+            stats["l2s0.mshr.full_stalls"]
+
+    def test_retry_rehits_without_new_mshr_when_sectors_arrived(self):
+        sim, sl, _sch, ch = make_slice()
+        sl.mshrs.capacity = 1
+        got = []
+        # Both loads target the same sectors; the second cannot merge
+        # (merge limit) nor allocate (full), so it retries — and by the
+        # retry the fill has landed, so it hits without new traffic.
+        sl.mshrs.max_merges = 1
+        sl.receive_load(3, 0b0001, lambda m: got.append("a"))
+        sl.receive_load(3, 0b0001, lambda m: got.append("b"))
+        sim.run()
+        assert sorted(got) == ["a", "b"]
+        assert ch.total_bytes == 32  # one sector fetched exactly once
+        assert sl.stats.flatten()["l2s0.mshr.allocations"] == 1
+
+    def test_mshr_occupancy_returns_to_zero(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.mshrs.capacity = 2
+        for line in range(1, 7):
+            sl.receive_load(line, 1, lambda m: None)
+        sim.run()
+        assert len(sl.mshrs) == 0
+        assert sl.mshrs.peak <= 2  # capacity respected throughout
+
+    def test_retry_preserves_full_request_mask(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.mshrs.capacity = 1
+        got = []
+        sl.receive_load(1, 0b0001, lambda m: None)
+        sl.receive_load(2, 0b0110, got.append)
+        sim.run()
+        assert got == [0b0110]  # retried load still answers its mask
+
+
+class TestPoisonAndInvalidate:
+    def test_poison_marks_only_resident_valid_sectors(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.receive_load(5, 0b0011, lambda m: None)
+        sim.run()
+        sl.poison_sectors(5, 0b1111)
+        line = sl.cache.probe(5)
+        assert line.poisoned_mask == 0b0011  # only what is resident
+        assert sl.stats.flatten()["l2s0.poisoned_sectors"] == 2
+
+    def test_poisoned_hit_counts_poison_served(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.receive_load(5, 0b0011, lambda m: None)
+        sim.run()
+        sl.poison_sectors(5, 0b0001)
+        got = []
+        sl.receive_load(5, 0b0011, got.append)
+        sim.run()
+        assert got == [0b0011]  # the load completes (poison, not hang)
+        assert sl.stats.flatten()["l2s0.poison_served"] == 1
+
+    def test_fresh_fill_clears_poison(self):
+        sim, sl, _sch, _ch = make_slice()
+        sl.receive_load(5, 0b0001, lambda m: None)
+        sim.run()
+        sl.poison_sectors(5, 0b0001)
+        line = sl.cache.probe(5)
+        sl.cache.invalidate(5)
+        sl.install_sectors(5, 0b0001)
+        line = sl.cache.probe(5)
+        assert line.poisoned_mask == 0
+        got = []
+        sl.receive_load(5, 0b0001, got.append)
+        sim.run()
+        assert got == [0b0001]
+        assert sl.stats.flatten()["l2s0.poison_served"] == 0
+
+    def test_poison_on_absent_line_is_noop(self):
+        _sim, sl, _sch, _ch = make_slice()
+        sl.poison_sectors(99, 0b1111)
+        assert sl.stats.flatten()["l2s0.poisoned_sectors"] == 0
+
+    def test_invalidate_discards_dirty_without_writeback(self):
+        sim, sl, _sch, ch = make_slice()
+        sl.receive_store(7, 0b0011, lambda: None)
+        sim.run()
+        sl.invalidate_line(7)
+        sim.run()
+        assert sl.cache.probe(7) is None or not sl.cache.probe(7).valid
+        assert ch.bytes_by_kind().get("writeback", 0) == 0
+        assert sl.stats.flatten()["l2s0.invalidated_lines"] == 1
+
+    def test_invalidate_absent_line_is_noop(self):
+        _sim, sl, _sch, _ch = make_slice()
+        sl.invalidate_line(42)
+        assert sl.stats.flatten()["l2s0.invalidated_lines"] == 0
+
+
 class TestProtectedSlice:
     def test_inline_sector_fetch_adds_metadata_traffic(self):
         sim, sl, _sch, ch = make_slice("inline-sector")

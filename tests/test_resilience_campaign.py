@@ -1,0 +1,170 @@
+"""Tests for the resilient campaign runner, worker and journal resume.
+
+Subprocess cells run the tiniest useful configuration (vecadd at scale
+0.02) so the whole module stays in the seconds range.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.harness import ExperimentHarness
+from repro.resilience.campaign import CampaignRunner, CampaignSummary, build_cells
+from repro.resilience.worker import build_cell_config, run_cell
+
+TINY = {"scale": 0.02, "max_events": 5_000_000}
+
+
+def tiny_cells(workloads=("vecadd",), schemes=("none",), **kwargs):
+    merged = dict(TINY)
+    merged.update(kwargs)
+    return build_cells(list(workloads), list(schemes), **merged)
+
+
+class TestCellSpecs:
+    def test_grid_covers_workload_x_scheme(self):
+        cells = build_cells(["vecadd", "spmv"], ["none", "cachecraft"])
+        assert [c["cell"] for c in cells] == [
+            "vecadd/none", "vecadd/cachecraft",
+            "spmv/none", "spmv/cachecraft"]
+
+    def test_sabotage_tags_only_named_cell(self):
+        cells = build_cells(["vecadd"], ["none", "cachecraft"],
+                            sabotage={"vecadd/none": "crash"})
+        by_id = {c["cell"]: c for c in cells}
+        assert by_id["vecadd/none"]["sabotage"] == "crash"
+        assert "sabotage" not in by_id["vecadd/cachecraft"]
+
+    def test_spec_round_trips_to_config(self):
+        spec = tiny_cells(
+            schemes=("cachecraft",),
+            resilience={"recovery": {"max_retries": 5},
+                        "fault_processes": [
+                            {"kind": "transient", "rate_per_kcycle": 1.0}],
+                        "inject_seed": 7},
+            protection={"functional": True})[0]
+        config = build_cell_config(spec)
+        assert config.protection.scheme == "cachecraft"
+        assert config.protection.functional
+        assert config.resilience.recovery.max_retries == 5
+        assert config.resilience.inject_seed == 7
+        assert config.resilience.fault_processes[0].rate_per_kcycle == 1.0
+
+    def test_run_cell_in_process(self):
+        out = run_cell(tiny_cells()[0])
+        assert out["status"] == "ok"
+        assert out["cell"] == "vecadd/none"
+        assert out["cycles"] > 0
+
+    def test_run_cell_reports_resilience_stats(self):
+        spec = tiny_cells(
+            schemes=("sideband",),
+            resilience={"fault_processes": [
+                {"kind": "transient", "rate_per_kcycle": 50.0}]},
+            protection={"functional": True})[0]
+        out = run_cell(spec)
+        assert out["status"] == "ok"
+        assert out["resilience"]["injector.data_flips"] > 0
+
+
+class TestRunner:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CampaignRunner(tmp_path / "j.jsonl", workers=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(tmp_path / "j.jsonl", max_attempts=0)
+
+    def test_all_cells_complete(self, tmp_path):
+        journal = tmp_path / "ok.jsonl"
+        runner = CampaignRunner(journal, workers=2, timeout=120)
+        summary = runner.run(tiny_cells(schemes=("none", "cachecraft")))
+        assert summary.ok
+        assert sorted(summary.done) == ["vecadd/cachecraft", "vecadd/none"]
+        assert summary.records["vecadd/none"]["cycles"] > 0
+
+    def test_crash_is_isolated_and_reported(self, tmp_path):
+        journal = tmp_path / "crash.jsonl"
+        runner = CampaignRunner(journal, workers=2, timeout=120,
+                                max_attempts=2, retry_backoff=0.05)
+        summary = runner.run(tiny_cells(
+            schemes=("none", "cachecraft"),
+            sabotage={"vecadd/none": "crash"}))
+        assert summary.failed == ["vecadd/none"]
+        assert summary.done == ["vecadd/cachecraft"]  # sweep continued
+        record = summary.records["vecadd/none"]
+        assert record["attempts"] == 2  # retried before giving up
+        assert "13" in record["error"]
+
+    def test_hang_is_killed_by_timeout(self, tmp_path):
+        journal = tmp_path / "hang.jsonl"
+        runner = CampaignRunner(journal, workers=1, timeout=2,
+                                max_attempts=1)
+        summary = runner.run(tiny_cells(sabotage={"vecadd/none": "hang"}))
+        assert summary.failed == ["vecadd/none"]
+        assert "timeout" in summary.records["vecadd/none"]["error"]
+
+    def test_livelock_tripped_by_engine_watchdog(self, tmp_path):
+        journal = tmp_path / "livelock.jsonl"
+        runner = CampaignRunner(journal, workers=1, timeout=120,
+                                max_attempts=1)
+        summary = runner.run(tiny_cells(
+            sabotage={"vecadd/none": "livelock"}))
+        assert summary.failed == ["vecadd/none"]
+        assert "watchdog" in summary.records["vecadd/none"]["error"]
+
+    def test_resume_skips_journaled_cells(self, tmp_path):
+        journal = tmp_path / "resume.jsonl"
+        cells = tiny_cells(schemes=("none", "cachecraft"))
+        first = CampaignRunner(journal, timeout=120).run(cells[:1])
+        assert first.done == ["vecadd/none"]
+        second = CampaignRunner(journal, timeout=120).run(cells)
+        assert second.skipped == ["vecadd/none"]
+        assert second.done == ["vecadd/cachecraft"]
+        # The skipped cell's journal record is still surfaced.
+        assert second.records["vecadd/none"]["status"] == "done"
+
+    def test_no_resume_truncates_journal(self, tmp_path):
+        journal = tmp_path / "fresh.jsonl"
+        cells = tiny_cells()
+        CampaignRunner(journal, timeout=120).run(cells)
+        summary = CampaignRunner(journal, timeout=120).run(cells,
+                                                           resume=False)
+        assert summary.done == ["vecadd/none"] and not summary.skipped
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        journal = tmp_path / "torn.jsonl"
+        cells = tiny_cells(schemes=("none", "cachecraft"))
+        CampaignRunner(journal, timeout=120).run(cells[:1])
+        with journal.open("a") as fh:
+            fh.write('{"cell": "vecadd/cachecraft", "status": "do')  # torn
+        summary = CampaignRunner(journal, timeout=120).run(cells)
+        assert summary.skipped == ["vecadd/none"]
+        assert summary.done == ["vecadd/cachecraft"]
+
+    def test_failed_cells_are_not_resumed_as_done(self, tmp_path):
+        journal = tmp_path / "fail.jsonl"
+        cells = tiny_cells(sabotage={"vecadd/none": "crash"})
+        CampaignRunner(journal, timeout=120, max_attempts=1).run(cells)
+        # Without the sabotage flag, the rerun executes the cell again.
+        summary = CampaignRunner(journal, timeout=120).run(tiny_cells())
+        assert summary.done == ["vecadd/none"] and not summary.skipped
+
+    def test_journal_records_are_json_lines(self, tmp_path):
+        journal = tmp_path / "lines.jsonl"
+        CampaignRunner(journal, timeout=120).run(tiny_cells())
+        records = [json.loads(line) for line in journal.read_text().splitlines()]
+        assert records and records[-1]["status"] == "done"
+        assert records[-1]["result"]["cycles"] > 0
+
+    def test_summary_ok_property(self):
+        assert CampaignSummary(done=["a"]).ok
+        assert not CampaignSummary(failed=["b"]).ok
+
+
+class TestHarnessIntegration:
+    def test_run_campaign_through_harness(self, tmp_path):
+        harness = ExperimentHarness(scale=0.02)
+        summary = harness.run_campaign(
+            ["vecadd"], schemes=["none"],
+            journal_path=str(tmp_path / "h.jsonl"), timeout=120)
+        assert summary.ok and summary.done == ["vecadd/none"]

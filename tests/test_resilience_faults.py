@@ -1,0 +1,186 @@
+"""Unit tests for fault processes, the injector and healable journals."""
+
+import random
+
+import pytest
+
+from repro.dram.backing import FunctionalMemory
+from repro.dram.layout import InlineEccLayout
+from repro.ecc import DecodeStatus, HsiaoCode
+from repro.resilience import (
+    FAULT_PROCESSES,
+    BurstEvent,
+    Injector,
+    StuckAtRegion,
+    TransientFlips,
+    make_process,
+)
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def memory() -> FunctionalMemory:
+    layout = InlineEccLayout(granule_bytes=128, meta_per_granule=2)
+    return FunctionalMemory(layout, HsiaoCode(128))
+
+
+def bound_injector(memory, processes=(), seed=1, interval=50):
+    sim = Simulator()
+    injector = Injector(processes, seed=seed, interval=interval)
+    injector.bind(sim, memory)
+    return sim, injector
+
+
+class TestHealableJournal:
+    def test_healable_flip_reverts(self, memory):
+        memory.read_sector(0)
+        memory.inject_bit_flip(0, 5, healable=True)
+        assert memory.verify_granule(0).status is not DecodeStatus.CLEAN
+        assert memory.revert_faults(0) == 1
+        assert memory.verify_granule(0).status is DecodeStatus.CLEAN
+
+    def test_hard_flip_survives_revert(self, memory):
+        memory.read_sector(0)
+        memory.inject_bit_flip(0, 5, healable=False)
+        assert memory.revert_faults(0) == 0
+        assert memory.verify_granule(0).status is not DecodeStatus.CLEAN
+
+    def test_write_scrubs_pending_flips(self, memory):
+        before = memory.read_sector(0)
+        memory.inject_bit_flip(0, 5, healable=True)
+        memory.write_sector(0, before)
+        # The write is the truth; the journaled flip must not be
+        # re-applied on top of it.
+        assert memory.revert_faults(0) == 0
+        assert memory.read_sector(0) == before
+
+    def test_metadata_corruption_tracked_and_healed(self, memory):
+        memory.metadata_of(3)
+        memory.inject_metadata_corruption(3, 1, healable=True)
+        assert memory.metadata_faulted(3)
+        assert memory.verify_granule(3).status is not DecodeStatus.CLEAN
+        assert memory.revert_faults(3) == 1
+        assert not memory.metadata_faulted(3)
+        assert memory.verify_granule(3).status is DecodeStatus.CLEAN
+
+    def test_update_metadata_absorbs_fault(self, memory):
+        memory.inject_metadata_corruption(4, 0)
+        memory.update_metadata(4)
+        assert not memory.metadata_faulted(4)
+        assert memory.verify_granule(4).status is DecodeStatus.CLEAN
+
+    def test_resident_listings_sorted(self, memory):
+        for addr in (96, 0, 32):
+            memory.read_sector(addr)
+        assert memory.resident_sector_addrs() == [0, 32, 96]
+        memory.metadata_of(7)
+        memory.metadata_of(2)
+        assert memory.resident_granules() == [2, 7]
+
+
+class TestProcessSpecs:
+    def test_round_trip_through_registry(self):
+        for proc in (TransientFlips(rate_per_kcycle=2.0, target="metadata"),
+                     StuckAtRegion(base=64, span_bytes=32, bit=3),
+                     BurstEvent(at_cycle=100, bits=3, healable=True)):
+            spec = proc.to_dict()
+            assert spec["kind"] in FAULT_PROCESSES
+            assert make_process(**spec) == proc
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault process"):
+            make_process("cosmic-ray")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TransientFlips(target="registers")
+        with pytest.raises(ValueError):
+            TransientFlips(rate_per_kcycle=-1)
+        with pytest.raises(ValueError):
+            StuckAtRegion(period=0)
+        with pytest.raises(ValueError):
+            BurstEvent(bits=0)
+
+
+class TestInjectorTicks:
+    def test_transients_flip_resident_data(self, memory):
+        memory.read_sector(0)
+        memory.read_sector(32)
+        sim, injector = bound_injector(
+            memory, (TransientFlips(rate_per_kcycle=1000.0),), interval=10)
+        injector.arm()
+        sim.schedule(100, lambda: None)  # keep the run alive to cycle 100
+        sim.run()
+        assert injector._data_flips.value > 0
+
+    def test_injection_is_deterministic(self):
+        def flips(seed):
+            layout = InlineEccLayout(granule_bytes=128, meta_per_granule=2)
+            fm = FunctionalMemory(layout, HsiaoCode(128))
+            for addr in range(0, 512, 32):
+                fm.read_sector(addr)
+            sim, injector = bound_injector(
+                fm, (TransientFlips(rate_per_kcycle=500.0),),
+                seed=seed, interval=10)
+            injector.arm()
+            sim.schedule(200, lambda: None)
+            sim.run()
+            return {k: bytes(v) for k, v in fm._sectors.items()}
+
+        assert flips(3) == flips(3)
+        assert flips(3) != flips(4)
+
+    def test_daemon_ticks_never_extend_run(self, memory):
+        memory.read_sector(0)
+        sim, injector = bound_injector(
+            memory, (TransientFlips(rate_per_kcycle=1000.0),), interval=10)
+        injector.arm()
+        sim.schedule(25, lambda: None)
+        sim.run()
+        assert sim.now == 25
+
+    def test_burst_fires_once_at_cycle(self, memory):
+        memory.read_sector(0)
+        sim, injector = bound_injector(
+            memory, (BurstEvent(at_cycle=55, addr=0, bits=4),), interval=10)
+        injector.arm()
+        sim.schedule(200, lambda: None)
+        sim.run()
+        assert injector._data_flips.value == 4
+
+    def test_burst_before_window_never_fires(self, memory):
+        memory.read_sector(0)
+        sim, injector = bound_injector(
+            memory, (BurstEvent(at_cycle=500, addr=0),), interval=10)
+        injector.arm()
+        sim.schedule(100, lambda: None)  # run ends before at_cycle
+        sim.run()
+        assert injector._data_flips.value == 0
+
+    def test_stuck_at_reasserts_after_scrub(self, memory):
+        clean = bytes(32)
+        memory.write_sector(0, clean)  # known content: bit 0 starts at 0
+        sim, injector = bound_injector(
+            memory, (StuckAtRegion(base=0, span_bytes=32, bit=0,
+                                   period=40),), interval=20)
+        injector.arm()
+        # Scrub the stuck bit back to 0 between assertions.
+        sim.schedule(60, memory.write_sector, 0, clean)
+        sim.schedule(200, lambda: None)
+        sim.run()
+        assert injector._stuck_asserts.value >= 2
+        assert memory.read_sector(0)[0] & 1  # still stuck at 1
+
+    def test_heal_surfaces_bit_count(self, memory):
+        memory.read_sector(0)
+        _sim, injector = bound_injector(memory)
+        injector.flip_data(0, 3, healable=True)
+        injector.flip_data(0, 9, healable=True)
+        assert injector.heal(0, attempt=1) == 2
+        assert injector._healed.value == 2
+
+    def test_sampling_empty_store_returns_none(self, memory):
+        _sim, injector = bound_injector(memory)
+        rng = random.Random(0)
+        assert injector.sample_data_addr(rng) is None
+        assert injector.sample_granule(rng) is None

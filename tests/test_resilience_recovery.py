@@ -1,0 +1,166 @@
+"""End-to-end recovery semantics on the protection path.
+
+These run real (small) workloads with the in-situ injector and assert
+the recovery state machine's observable outcomes: correction stalls,
+bounded DUE retries, healing, poisoning on exhaustion, metadata
+invalidation and preserved latency attribution.
+"""
+
+import pytest
+
+from repro.analysis.harness import ExperimentHarness, bench_config, bench_gen_ctx
+from repro.core.config import ResilienceConfig
+from repro.core.system import GpuSystem, run_workload
+from repro.obs.hub import make_observability
+from repro.obs.profile import check_breakdown_sums
+from repro.resilience import BurstEvent, RecoveryPolicy, TransientFlips
+from repro.sim.engine import SimulationError
+from repro.workloads import make_workload
+
+
+def run_system(scheme, processes, *, scale=0.05, seed=42, retries=3,
+               obs=None, policy_kwargs=None):
+    config = bench_config().with_scheme(scheme, functional=True)
+    config = config.with_resilience(ResilienceConfig(
+        recovery=RecoveryPolicy(max_retries=retries,
+                                **(policy_kwargs or {})),
+        fault_processes=tuple(processes), inject_interval=25))
+    system = GpuSystem(config, obs=obs)
+    workload = make_workload("vecadd")
+    system.load_workload(workload, bench_gen_ctx(config, scale=scale,
+                                                 seed=seed))
+    cycles = system.run()
+    return system.result(workload.name, cycles, 0.0), system
+
+
+class TestCorrectedPath:
+    def test_single_bit_transients_corrected_with_stall(self):
+        result, _sys = run_system(
+            "sideband", [TransientFlips(rate_per_kcycle=20.0)])
+        stats = result.stats
+        assert stats["injector.data_flips"] > 0
+        assert stats["resilience.corrected_events"] > 0
+        assert stats["resilience.correction_stall_cycles"] == (
+            stats["resilience.corrected_events"]
+            * RecoveryPolicy().correction_latency)
+        # Transient corrections never escalate.
+        assert stats["resilience.due_events"] == 0
+        assert stats["resilience.poisoned_granules"] == 0
+
+
+class TestDuePath:
+    def test_healable_due_recovers_on_replay(self):
+        result, _sys = run_system(
+            "sideband", [BurstEvent(at_cycle=50, bits=2, healable=True)])
+        stats = result.stats
+        assert stats["resilience.due_events"] == 1
+        assert stats["resilience.retries"] == 1
+        assert stats["resilience.recovered"] == 1
+        assert stats["injector.bits_healed"] == 2
+        assert stats["resilience.poisoned_granules"] == 0
+        # The replay re-reads data and metadata as RETRY traffic.
+        assert result.traffic["retry"] > 0
+
+    def test_hard_due_exhausts_bounded_retries_then_poisons(self):
+        result, system = run_system(
+            "sideband", [BurstEvent(at_cycle=50, bits=4)], retries=3)
+        stats = result.stats
+        assert stats["resilience.due_events"] == 1
+        assert stats["resilience.retries"] == 3  # bounded, not infinite
+        assert stats["resilience.recovered"] == 0
+        assert stats["resilience.poisoned_granules"] == 1
+        assert stats["resilience.retry_stall_cycles"] > 0
+        assert len(system.recovery.poisoned) == 1
+        # Poison marks landed on the victim line's resident sectors.
+        assert sum(result.stats.get(f"l2s{i}.poisoned_sectors", 0)
+                   for i in range(4)) > 0
+
+    def test_poison_on_exhaust_can_be_disabled(self):
+        result, system = run_system(
+            "sideband", [BurstEvent(at_cycle=50, bits=4)], retries=2,
+            policy_kwargs={"poison_on_exhaust": False})
+        stats = result.stats
+        assert stats["resilience.retries"] == 2
+        assert stats["resilience.unrecovered"] == 1
+        assert stats["resilience.poisoned_granules"] == 0
+        assert not system.recovery.poisoned
+
+    def test_retry_traffic_respects_granule_size(self):
+        result, system = run_system(
+            "sideband", [BurstEvent(at_cycle=50, bits=4)], retries=1)
+        # One replay: the whole granule plus one metadata atom.
+        layout = system.ctx.layout
+        assert result.traffic["retry"] == (layout.granule_bytes
+                                           + layout.atom_bytes)
+
+
+class TestMetadataCorruption:
+    @pytest.mark.parametrize("scheme", ["metadata-cache", "cachecraft"])
+    def test_cached_metadata_invalidated_before_replay(self, scheme):
+        result, _sys = run_system(
+            scheme,
+            [BurstEvent(at_cycle=50, bits=2, target="metadata",
+                        healable=True)])
+        stats = result.stats
+        assert stats["injector.metadata_flips"] == 2
+        assert stats["resilience.due_events"] == 1
+        assert stats["resilience.metadata_invalidations"] == 1
+        assert stats["resilience.recovered"] == 1
+
+    def test_cachecraft_drops_l2_metadata_line(self):
+        result, _sys = run_system(
+            "cachecraft",
+            [BurstEvent(at_cycle=50, bits=2, target="metadata",
+                        healable=True)])
+        assert sum(result.stats.get(f"l2s{i}.invalidated_lines", 0)
+                   for i in range(4)) == 1
+
+
+class TestAttributionAndDefaults:
+    def test_latency_sum_identity_survives_recovery(self):
+        obs = make_observability(attribute_latency=True)
+        result, _sys = run_system(
+            "sideband",
+            [BurstEvent(at_cycle=50, bits=4),
+             TransientFlips(rate_per_kcycle=10.0)],
+            obs=obs)
+        assert result.stats["resilience.due_events"] >= 1
+        assert check_breakdown_sums(result.latency)
+
+    def test_no_resilience_config_means_no_counters(self):
+        config = bench_config().with_scheme("sideband", functional=True)
+        gen = bench_gen_ctx(config, scale=0.05, seed=42)
+        result = run_workload(make_workload("vecadd"), config, gen_ctx=gen)
+        assert not any(k.startswith(("resilience.", "injector."))
+                       for k in result.stats)
+
+    def test_recovery_without_faults_changes_nothing(self):
+        # A recovery controller with no injected faults must be
+        # cycle-identical to the plain run (clean path is synchronous).
+        config = bench_config().with_scheme("sideband", functional=True)
+        gen = bench_gen_ctx(config, scale=0.05, seed=42)
+        plain = run_workload(make_workload("vecadd"), config, gen_ctx=gen)
+        guarded = run_workload(
+            make_workload("vecadd"),
+            config.with_resilience(ResilienceConfig()), gen_ctx=gen)
+        assert guarded.cycles == plain.cycles
+        assert guarded.traffic == plain.traffic
+
+    def test_injection_requires_functional_store(self):
+        config = bench_config().with_scheme("sideband")
+        config = config.with_resilience(ResilienceConfig(
+            fault_processes=(TransientFlips(),)))
+        with pytest.raises(ValueError, match="functional"):
+            GpuSystem(config)
+
+
+class TestHarnessGuards:
+    def test_max_events_guard_raises_instead_of_spinning(self):
+        harness = ExperimentHarness(scale=0.05, max_events=100)
+        with pytest.raises(SimulationError):
+            harness.run("vecadd", "none")
+
+    def test_default_budget_lets_real_runs_finish(self):
+        harness = ExperimentHarness(scale=0.05)
+        result = harness.run("vecadd", "none")
+        assert result.cycles > 0

@@ -230,3 +230,84 @@ class TestDaemonEvents:
         sim.schedule(5, fired.append, "work")
         sim.run()
         assert fired == ["spawned", "work"]
+
+
+class TestWatchdog:
+    def test_livelock_trips_no_progress(self):
+        from repro.sim.engine import Watchdog
+
+        sim = Simulator()
+
+        def spin():
+            sim.schedule(0, spin)
+
+        sim.schedule(0, spin)
+        dog = Watchdog(check_every_events=100, max_stalled_checks=2)
+        with pytest.raises(SimulationError, match="no progress"):
+            sim.run(watchdog=dog)
+        assert sim.now == 0  # the clock genuinely never advanced
+
+    def test_advancing_clock_never_trips(self):
+        from repro.sim.engine import Watchdog
+
+        sim = Simulator()
+        count = [0]
+
+        def step():
+            count[0] += 1
+            if count[0] < 2000:
+                sim.schedule(1, step)
+
+        sim.schedule(1, step)
+        sim.run(watchdog=Watchdog(check_every_events=100,
+                                  max_stalled_checks=2))
+        assert count[0] == 2000
+
+    def test_bursty_same_cycle_fanout_tolerated(self):
+        from repro.sim.engine import Watchdog
+
+        sim = Simulator()
+        fired = []
+        # 150 same-cycle events is a fan-out, not a livelock: one
+        # stalled check is forgiven when the clock then advances.
+        for _ in range(150):
+            sim.schedule(5, fired.append, 1)
+        sim.schedule(6, fired.append, 2)
+        sim.run(watchdog=Watchdog(check_every_events=100,
+                                  max_stalled_checks=2))
+        assert len(fired) == 151
+
+    def test_wall_clock_budget_trips(self):
+        from repro.sim.engine import Watchdog
+
+        sim = Simulator()
+
+        def crawl():
+            sim.schedule(1, crawl)
+
+        sim.schedule(1, crawl)
+        dog = Watchdog(check_every_events=10, max_wall_seconds=0.05)
+        with pytest.raises(SimulationError, match="wall"):
+            sim.run(watchdog=dog)
+
+    def test_start_resets_state_between_runs(self):
+        from repro.sim.engine import Watchdog
+
+        dog = Watchdog(check_every_events=100, max_stalled_checks=2)
+        for _ in range(2):  # a tripped dog must be reusable after start()
+            sim = Simulator()
+
+            def spin(sim=sim):
+                sim.schedule(0, spin)
+
+            sim.schedule(0, spin)
+            with pytest.raises(SimulationError):
+                sim.run(watchdog=dog)
+
+    def test_validation(self):
+        from repro.sim.engine import Watchdog
+
+        with pytest.raises(ValueError):
+            Watchdog(check_every_events=0)
+        with pytest.raises(ValueError):
+            Watchdog(max_stalled_checks=0)
