@@ -34,10 +34,13 @@ def energy_breakdown(result: RunResult) -> Dict[str, float]:
     """Picojoules per component for one run."""
     dram = result.total_dram_bytes * DRAM_PJ_PER_BYTE
 
+    # Sector-sized access volume: hits and sector_misses count sectors
+    # already; line misses count once per access, so the sectors they
+    # requested live in the companion line_miss_sectors counter.
     l1_accesses = (result.stat("l1.hits") + result.stat("l1.sector_misses")
-                   + result.stat("l1.line_misses"))
+                   + result.stat("l1.line_miss_sectors"))
     l2_accesses = (result.stat("cache.hits") + result.stat("cache.sector_misses")
-                   + result.stat("cache.line_misses"))
+                   + result.stat("cache.line_miss_sectors"))
     l1 = l1_accesses * L1_PJ_PER_ACCESS
     l2 = l2_accesses * L2_PJ_PER_ACCESS
 

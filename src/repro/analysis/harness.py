@@ -11,8 +11,11 @@ cached per (workload, scheme, config) within a process.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
+from repro.analysis.result_cache import ResultCache
 from repro.core.config import ALL_SCHEMES, SystemConfig
 from repro.core.results import RunResult
 from repro.core.system import run_workload
@@ -53,7 +56,9 @@ class ExperimentHarness:
                  workload_params: Optional[Dict[str, dict]] = None,
                  obs_factory: Optional[Callable[[str, str], object]] = None,
                  max_events: Optional[int] = 50_000_000,
-                 max_wall_seconds: Optional[float] = None):
+                 max_wall_seconds: Optional[float] = None,
+                 cache_dir: Union[None, str, os.PathLike,
+                                  ResultCache] = None):
         self.config = config or bench_config()
         self.scale = scale
         self.seed = seed
@@ -66,6 +71,19 @@ class ExperimentHarness:
         #: spinning forever.  ``None`` disables either guard.
         self.max_events = max_events
         self.max_wall_seconds = max_wall_seconds
+        #: Optional persistent result store (see
+        #: :mod:`repro.analysis.result_cache`): pass a directory (or a
+        #: :class:`ResultCache`) to reuse results across processes and
+        #: sessions.  Observed runs (``obs_factory``) bypass it — their
+        #: results carry run-specific latency attribution, and the
+        #: observers themselves must actually run.
+        self.result_cache: Optional[ResultCache] = (
+            cache_dir if isinstance(cache_dir, ResultCache)
+            else ResultCache(cache_dir) if cache_dir is not None
+            else None)
+        #: Simulations actually executed by this harness (cache hits,
+        #: in-memory or persistent, do not count).
+        self.sims_run = 0
         self._cache: Dict[Tuple, RunResult] = {}
 
     def _gen_ctx(self, config: SystemConfig) -> GenContext:
@@ -74,24 +92,56 @@ class ExperimentHarness:
     def _build_workload(self, name: str) -> Workload:
         return make_workload(name, **self.workload_params.get(name, {}))
 
+    # -- result caching -----------------------------------------------------
+
+    def _mem_key(self, workload: str, cfg: SystemConfig) -> Tuple:
+        return (workload, cfg.protection.scheme, cfg, self.scale, self.seed,
+                tuple(sorted(self.workload_params.get(workload, {}).items())))
+
+    def _persistent_key(self, workload: str, cfg: SystemConfig) -> str:
+        assert self.result_cache is not None
+        return self.result_cache.key_for(
+            workload, cfg, self.scale, self.seed,
+            self.workload_params.get(workload, {}))
+
+    def _persistent_get(self, workload: str,
+                        cfg: SystemConfig) -> Optional[RunResult]:
+        if self.result_cache is None or self.obs_factory is not None:
+            return None
+        return self.result_cache.get(self._persistent_key(workload, cfg))
+
+    def _persistent_put(self, workload: str, cfg: SystemConfig,
+                        result: RunResult) -> None:
+        if self.result_cache is None or self.obs_factory is not None:
+            return
+        self.result_cache.put(
+            self._persistent_key(workload, cfg), result,
+            meta={"workload": workload, "scheme": cfg.protection.scheme,
+                  "scale": self.scale, "seed": self.seed})
+
     def run(self, workload: str, scheme: str,
             config: Optional[SystemConfig] = None, **protection_overrides
             ) -> RunResult:
         """Run (or fetch from cache) one simulation."""
         cfg = (config or self.config).with_scheme(scheme,
                                                   **protection_overrides)
-        key = (workload, scheme, cfg, self.scale, self.seed,
-               tuple(sorted(self.workload_params.get(workload, {}).items())))
+        key = self._mem_key(workload, cfg)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        obs = self.obs_factory(workload, scheme) if self.obs_factory else None
-        watchdog = None
-        if self.max_wall_seconds is not None:
-            watchdog = Watchdog(max_wall_seconds=self.max_wall_seconds)
-        result = run_workload(self._build_workload(workload), cfg,
-                              gen_ctx=self._gen_ctx(cfg), obs=obs,
-                              max_events=self.max_events, watchdog=watchdog)
+        result = self._persistent_get(workload, cfg)
+        if result is None:
+            obs = (self.obs_factory(workload, scheme)
+                   if self.obs_factory else None)
+            watchdog = None
+            if self.max_wall_seconds is not None:
+                watchdog = Watchdog(max_wall_seconds=self.max_wall_seconds)
+            result = run_workload(self._build_workload(workload), cfg,
+                                  gen_ctx=self._gen_ctx(cfg), obs=obs,
+                                  max_events=self.max_events,
+                                  watchdog=watchdog)
+            self.sims_run += 1
+            self._persistent_put(workload, cfg, result)
         self._cache[key] = result
         return result
 
@@ -127,27 +177,110 @@ class ExperimentHarness:
 
     def matrix(self, workloads: Sequence[str],
                schemes: Sequence[str] = ALL_SCHEMES,
-               config: Optional[SystemConfig] = None
+               config: Optional[SystemConfig] = None,
+               workers: Optional[int] = None
                ) -> Dict[str, Dict[str, RunResult]]:
-        """``{workload: {scheme: result}}`` for a full grid."""
-        return {
-            wl: {sc: self.run(wl, sc, config=config) for sc in schemes}
-            for wl in workloads
+        """``{workload: {scheme: result}}`` for a full grid.
+
+        ``workers=N`` (N > 1) fans the independent (workload, scheme)
+        cells out over a ``ProcessPoolExecutor``.  Each cell runs the
+        exact same simulation the serial path would, so the returned
+        results are identical (modulo ``host_seconds``, which measures
+        the wall clock); iteration order of the returned dicts matches
+        the serial path regardless of completion order.  Results fill
+        the same in-memory/persistent caches as serial runs.
+        """
+        if workers is None or workers <= 1:
+            return {
+                wl: {sc: self.run(wl, sc, config=config) for sc in schemes}
+                for wl in workloads
+            }
+        if self.obs_factory is not None:
+            raise ValueError(
+                "parallel matrix cannot observe runs (obs hubs bind to "
+                "in-process systems); use workers=1 with obs_factory")
+        return self._matrix_parallel(list(workloads), list(schemes),
+                                     config, workers)
+
+    def _cell_spec(self, workload: str, scheme: str,
+                   cfg: SystemConfig) -> Dict[str, Any]:
+        """A worker cell spec (see :mod:`repro.resilience.worker`),
+        carrying the fully-built config since it travels by pickle."""
+        spec: Dict[str, Any] = {
+            "cell": f"{workload}/{scheme}", "workload": workload,
+            "scheme": scheme, "scale": self.scale, "seed": self.seed,
+            "config": cfg,
+            "workload_params": self.workload_params.get(workload, {}),
         }
+        if self.max_events is not None:
+            spec["max_events"] = self.max_events
+        if self.max_wall_seconds is not None:
+            spec["max_wall_seconds"] = self.max_wall_seconds
+        return spec
+
+    def _matrix_parallel(self, workloads: List[str], schemes: List[str],
+                         config: Optional[SystemConfig], workers: int
+                         ) -> Dict[str, Dict[str, RunResult]]:
+        # Imported lazily: the pool machinery is only needed here, and
+        # the worker import would otherwise be circular at module load.
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.resilience.worker import run_cell_result
+
+        grid: Dict[str, Dict[str, RunResult]] = {wl: {} for wl in workloads}
+        todo: List[Tuple[str, str, SystemConfig, Tuple]] = []
+        for wl in workloads:
+            for sc in schemes:
+                cfg = (config or self.config).with_scheme(sc)
+                key = self._mem_key(wl, cfg)
+                cached = self._cache.get(key)
+                if cached is None:
+                    cached = self._persistent_get(wl, cfg)
+                    if cached is not None:
+                        self._cache[key] = cached
+                if cached is not None:
+                    grid[wl][sc] = cached
+                else:
+                    todo.append((wl, sc, cfg, key))
+        if todo:
+            specs = [self._cell_spec(wl, sc, cfg)
+                     for wl, sc, cfg, _key in todo]
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(todo))) as pool:
+                # pool.map preserves submission order: zip restores the
+                # (workload, scheme) attribution deterministically.
+                for (wl, sc, cfg, key), result in zip(
+                        todo, pool.map(run_cell_result, specs)):
+                    self.sims_run += 1
+                    self._cache[key] = result
+                    self._persistent_put(wl, cfg, result)
+                    grid[wl][sc] = result
+        return {wl: {sc: grid[wl][sc] for sc in schemes}
+                for wl in workloads}
 
     def normalized_performance(self, workloads: Sequence[str],
                                schemes: Sequence[str] = ALL_SCHEMES,
-                               baseline: str = "none"
+                               baseline: str = "none",
+                               workers: Optional[int] = None
                                ) -> Dict[str, Dict[str, float]]:
         """Per-workload performance of each scheme relative to baseline,
-        plus a ``geomean`` pseudo-workload row."""
-        grid = self.matrix(workloads, schemes)
+        plus a ``geomean`` pseudo-workload row.
+
+        ``baseline`` need not be in ``schemes``: it is then run
+        implicitly as the denominator and omitted from the output rows.
+        """
+        run_schemes = list(schemes)
+        if baseline not in run_schemes:
+            run_schemes.append(baseline)
+        grid = self.matrix(workloads, run_schemes, workers=workers)
         out: Dict[str, Dict[str, float]] = {}
-        for wl, by_scheme in grid.items():
+        for wl in workloads:
+            by_scheme = grid[wl]
             base = by_scheme[baseline]
-            out[wl] = {sc: r.performance_vs(base) for sc, r in by_scheme.items()}
+            out[wl] = {sc: by_scheme[sc].performance_vs(base)
+                       for sc in schemes}
         out["geomean"] = {
-            sc: geomean(out[wl][sc] for wl in grid) for sc in schemes
+            sc: geomean(out[wl][sc] for wl in workloads) for sc in schemes
         }
         return out
 
@@ -156,18 +289,28 @@ def compare_schemes(workload: str,
                     schemes: Sequence[str] = ALL_SCHEMES,
                     config: Optional[SystemConfig] = None,
                     scale: float = 0.3, seed: int = 42,
-                    obs_factory: Optional[Callable[[str, str], object]] = None
+                    obs_factory: Optional[Callable[[str, str], object]] = None,
+                    workers: Optional[int] = None,
+                    cache_dir: Union[None, str, os.PathLike,
+                                     ResultCache] = None,
+                    harness: Optional[ExperimentHarness] = None
                     ) -> List[dict]:
     """One-call scheme comparison for a single workload.
 
     Returns a list of row dicts (scheme, norm_perf, cycles, dram_bytes,
     overhead_bytes) normalized to the first scheme in ``schemes``.
     ``obs_factory`` (``(workload, scheme) -> Observability``) lets the
-    caller observe each per-scheme run independently.
+    caller observe each per-scheme run independently.  ``workers`` and
+    ``cache_dir`` enable parallel execution and persistent result reuse
+    (see :class:`ExperimentHarness`); pass a prebuilt ``harness`` to
+    inspect its cache counters afterwards.
     """
-    harness = ExperimentHarness(config=config, scale=scale, seed=seed,
-                                obs_factory=obs_factory)
-    results = [harness.run(workload, scheme) for scheme in schemes]
+    if harness is None:
+        harness = ExperimentHarness(config=config, scale=scale, seed=seed,
+                                    obs_factory=obs_factory,
+                                    cache_dir=cache_dir)
+    grid = harness.matrix([workload], schemes, workers=workers)
+    results = [grid[workload][scheme] for scheme in schemes]
     base = results[0]
     rows = []
     for result in results:

@@ -1,0 +1,209 @@
+"""Persistent, content-addressed result cache.
+
+Trace-driven reproductions re-simulate the same (workload, scheme,
+config) cells constantly — across benchmark runs, CLI invocations and
+CI jobs.  This module stores every finished
+:class:`~repro.core.results.RunResult` as one JSON file under a cache
+directory (default ``~/.cache/repro``), keyed by a stable hash of
+everything that determines the simulation's output:
+
+* workload name and its workload parameters,
+* the full :class:`~repro.core.config.SystemConfig` (machine shape,
+  protection scheme + knobs, resilience config, flush/seed fields),
+* trace sizing (``scale``, ``seed``),
+* the model version string
+  (:data:`~repro.core.results.MODEL_VERSION`) and the on-disk format
+  version.
+
+Because the model version participates in the key *and* is re-checked
+on load, bumping :data:`MODEL_VERSION` after a behavior-changing edit
+invalidates every stored result — stale entries simply stop being
+addressable and are swept by :meth:`ResultCache.clear`.
+
+Layout: ``<dir>/<key[:2]>/<key>.json`` (two-level fan-out keeps any
+one directory small).  Writes are atomic (tempfile + rename), so a
+killed run never leaves a torn entry; unreadable entries are treated
+as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.results import MODEL_VERSION, RunResult
+
+#: On-disk format version; bump on incompatible layout changes.
+CACHE_FORMAT = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce config objects to deterministic JSON-able primitives."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def cache_key(workload: str, config: SystemConfig, scale: float, seed: int,
+              workload_params: Optional[Dict[str, Any]] = None) -> str:
+    """Stable content hash for one simulation cell."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "model_version": MODEL_VERSION,
+        "workload": workload,
+        "workload_params": _canonical(workload_params or {}),
+        "config": _canonical(config),
+        "scale": scale,
+        "seed": seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`RunResult` objects."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.dir = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        #: Load/store counters for this instance (observability).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def key_for(self, workload: str, config: SystemConfig, scale: float,
+                seed: int, workload_params: Optional[Dict[str, Any]] = None
+                ) -> str:
+        return cache_key(workload, config, scale, seed, workload_params)
+
+    def _path(self, key: str) -> Path:
+        return self.dir / key[:2] / f"{key}.json"
+
+    # -- load/store ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Fetch a stored result; None on miss or unreadable entry."""
+        path = self._path(key)
+        try:
+            with path.open() as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        # Defense in depth: the version is in the key already, but a
+        # hand-copied or corrupted entry must still never satisfy a
+        # lookup for a different model.
+        if entry.get("model_version") != MODEL_VERSION \
+                or entry.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_dict(entry["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult,
+            meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Store a result atomically; returns the entry path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "model_version": MODEL_VERSION,
+            "key": key,
+            "meta": meta or {},
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _entries(self):
+        if not self.dir.is_dir():
+            return
+        for sub in sorted(self.dir.iterdir()):
+            if sub.is_dir() and len(sub.name) == 2:
+                yield from sorted(sub.glob("*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """``{dir, entries, bytes, current_model_entries}`` for the
+        ``cache stats`` CLI subcommand."""
+        entries = 0
+        nbytes = 0
+        current = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                nbytes += path.stat().st_size
+                with path.open() as fh:
+                    if json.load(fh).get("model_version") == MODEL_VERSION:
+                        current += 1
+            except (OSError, ValueError):
+                continue
+        return {"dir": str(self.dir), "entries": entries, "bytes": nbytes,
+                "current_model_entries": current,
+                "model_version": MODEL_VERSION}
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete entries (all, or only those from other model
+        versions); returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            if stale_only:
+                try:
+                    with path.open() as fh:
+                        if json.load(fh).get("model_version") \
+                                == MODEL_VERSION:
+                            continue
+                except (OSError, ValueError):
+                    pass  # unreadable counts as stale
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

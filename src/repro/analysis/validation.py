@@ -58,8 +58,10 @@ def validate_result(result: RunResult, config: SystemConfig) -> List[str]:
     # Every L2 sector miss needs at least one sector from somewhere:
     # demand data + fills must cover the L2's misses (writes allocate
     # without fetching, so only bound reads-from-DRAM by read misses).
+    # ``line_misses`` counts accesses; ``line_miss_sectors`` carries
+    # the sector volume those accesses requested.
     l2_miss_sectors = result.stat("cache.sector_misses") \
-        + result.stat("cache.line_misses")
+        + result.stat("cache.line_miss_sectors")
     read_bytes = result.traffic.get("data", 0) \
         + result.traffic.get("verify_fill", 0)
     if read_bytes > 0 and l2_miss_sectors == 0 \

@@ -44,9 +44,13 @@ class ReplacementPolicy(abc.ABC):
     def on_fill(self, way: int, low_priority: bool = False) -> None:
         """A new line was inserted into this way.
 
-        ``low_priority`` hints that the line should be evicted sooner
-        than a regular insertion (used for metadata lines under the
-        adaptive-insertion ablations).
+        ``low_priority`` marks the line *evict-next* (used for metadata
+        lines under the adaptive-insertion ablations).  **Contract**:
+        every policy must leave a low-priority fill as the very next
+        victim of its set until something else touches the set — LRU
+        inserts at the LRU position, TreePLRU leaves the tree pointing
+        at the way, SRRIP inserts at RRPV max.  A subsequent
+        :meth:`on_access` hit promotes it like any other line.
         """
 
 
@@ -74,8 +78,9 @@ class LruPolicy(ReplacementPolicy):
     def on_fill(self, way: int, low_priority: bool = False) -> None:
         self._order.remove(way)
         if low_priority:
-            # Insert at LRU+1: one reuse saves it, otherwise it goes fast.
-            self._order.insert(1, way)
+            # Evict-next: insert at the LRU end, matching the SRRIP
+            # (RRPV max) and TreePLRU (tree points here) contract.
+            self._order.insert(0, way)
         else:
             self._order.append(way)
 

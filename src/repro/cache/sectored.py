@@ -123,6 +123,10 @@ class SectoredCache:
         self._hits = group.counter("hits")
         self._sector_misses = group.counter("sector_misses")
         self._line_misses = group.counter("line_misses")
+        #: Sectors requested by line-missing accesses.  ``line_misses``
+        #: counts accesses; this counts the sectors those accesses
+        #: wanted (conservation-law checks need the sector volume).
+        self._line_miss_sectors = group.counter("line_miss_sectors")
         self._evictions = group.counter("evictions")
         self._writebacks = group.counter("writebacks")
         self._metadata_fills = group.counter("metadata_fills")
@@ -154,6 +158,7 @@ class SectoredCache:
         loc = self._directory.get(line_addr)
         if loc is None:
             self._line_misses.add(1)
+            self._line_miss_sectors.add(1)
             return LookupResult.MISS_LINE, None
         set_idx, way = loc
         line = self._sets[set_idx][way]
@@ -176,20 +181,25 @@ class SectoredCache:
         """Multi-sector lookup: returns ``(hit_mask, line)``.
 
         ``hit_mask`` is the subset of ``sector_mask`` resident (and
-        verified, if required).  Statistics count each requested sector
-        as a hit or miss; replacement updates once on any hit.
+        verified, if required).  Hits and sector misses count each
+        requested sector; a line (tag) miss counts **once per access**,
+        exactly like :meth:`lookup`, so hit-rate reporting does not
+        depend on which entry point served the request.  The sectors a
+        line miss requested are tracked separately in
+        ``line_miss_sectors`` (conservation-law checks need them).
         """
         loc = self._directory.get(line_addr)
-        requested = bin(sector_mask).count("1")
         if loc is None:
-            self._line_misses.add(requested)
+            self._line_misses.add(1)
+            self._line_miss_sectors.add(sector_mask.bit_count())
             return 0, None
         set_idx, way = loc
         line = self._sets[set_idx][way]
         hit_mask = sector_mask & line.valid_mask
         if require_verified:
             hit_mask &= line.verified_mask
-        hits = bin(hit_mask).count("1")
+        hits = hit_mask.bit_count()
+        requested = sector_mask.bit_count()
         if hits:
             self._hits.add(hits)
             if line.is_metadata:
@@ -288,24 +298,37 @@ class SectoredCache:
         return result, line
 
     def invalidate(self, line_addr: int) -> Optional[Eviction]:
-        """Drop a line (returning writeback work if it was dirty)."""
+        """Drop a line (returning writeback work if it was dirty).
+
+        Counts the displacement in the ``evictions``/``writebacks``
+        stats exactly like a capacity eviction in :meth:`allocate`, so
+        recovery-path metadata invalidations stay visible; callers
+        (including :meth:`flush`) must not count again.
+        """
         loc = self._directory.get(line_addr)
         if loc is None:
             return None
         line = self._sets[loc[0]][loc[1]]
         evicted = Eviction(line.line_addr, line.dirty_mask,
                            line.valid_mask, line.is_metadata)
+        if line.valid_mask:
+            self._evictions.add(1)
+            if evicted.needs_writeback:
+                self._writebacks.add(1)
         line.reset()
         del self._directory[line_addr]
         return evicted if evicted.needs_writeback else None
 
     def flush(self) -> List[Eviction]:
-        """Write back and invalidate everything (end-of-kernel drain)."""
+        """Write back and invalidate everything (end-of-kernel drain).
+
+        Stats are counted by :meth:`invalidate` (one eviction per valid
+        line, one writeback per dirty line) — nothing extra here.
+        """
         out = []
         for line_addr in list(self._directory):
             ev = self.invalidate(line_addr)
             if ev is not None:
-                self._writebacks.add(1)
                 out.append(ev)
         return out
 

@@ -4,7 +4,10 @@ Subcommands:
 
 * ``run`` — simulate one workload under one scheme (``--json`` for
   tooling; prints a bottleneck classification);
-* ``compare`` — compare all schemes on one workload;
+* ``compare`` — compare all schemes on one workload (``--workers`` for
+  parallel cells; results persist in the on-disk cache by default);
+* ``cache`` — inspect or clear the persistent result cache
+  (docs/PERFORMANCE.md);
 * ``profile`` — latency-breakdown and hottest-components report for
   one workload/scheme (see docs/OBSERVABILITY.md);
 * ``experiment`` — regenerate one of the reproduced tables/figures;
@@ -25,6 +28,7 @@ from typing import List, Optional
 
 from repro.analysis.experiments import EXPERIMENTS
 from repro.analysis.harness import bench_config, bench_gen_ctx, compare_schemes
+from repro.analysis.result_cache import ResultCache, default_cache_dir
 from repro.analysis.tables import format_table
 from repro.core.config import ALL_SCHEMES
 from repro.core.system import run_workload
@@ -126,7 +130,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=sorted(WORKLOAD_REGISTRY))
     cmp_p.add_argument("--scale", type=float, default=0.3)
     cmp_p.add_argument("--seed", type=int, default=42)
+    cmp_p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan per-scheme cells out over N processes")
+    cmp_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache directory "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    cmp_p.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the persistent cache")
     _add_obs_args(cmp_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    cache_p.add_argument("--stale-only", action="store_true",
+                         help="clear: drop only entries from other model "
+                              "versions")
 
     prof_p = sub.add_parser(
         "profile", help="latency breakdown + hottest components")
@@ -249,6 +270,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.harness import ExperimentHarness
+
     observers = {}
     obs_factory = None
     if args.trace_out or args.metrics_out:
@@ -256,19 +279,56 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             obs = _make_obs(args)
             observers[scheme] = obs
             return obs
+    # Persistent caching is on by default, but an observed run must
+    # actually execute (and its results carry attribution data), so
+    # observability flags disable it — as does --no-cache.
+    cache_dir = None
+    if not args.no_cache and obs_factory is None:
+        cache_dir = args.cache_dir if args.cache_dir is not None \
+            else default_cache_dir()
+    harness = ExperimentHarness(scale=args.scale, seed=args.seed,
+                                obs_factory=obs_factory,
+                                cache_dir=cache_dir)
     rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed,
-                           obs_factory=obs_factory)
+                           obs_factory=obs_factory, workers=args.workers,
+                           harness=harness)
     table = [[r["scheme"], r["norm_perf"], r["cycles"], r["dram_bytes"],
               r["overhead_bytes"]] for r in rows]
     print(format_table(
         ["scheme", "norm perf", "cycles", "DRAM bytes", "overhead bytes"],
         table, title=f"scheme comparison: {args.workload}"))
+    if harness.result_cache is not None:
+        print(f"{harness.sims_run} simulated, "
+              f"{harness.result_cache.hits} from cache "
+              f"({harness.result_cache.dir})")
+    else:
+        print(f"{harness.sims_run} simulated (persistent cache off)")
     for scheme, obs in observers.items():
         _export_obs(
             obs,
             _scheme_path(args.trace_out, scheme) if args.trace_out else None,
             _scheme_path(args.metrics_out, scheme)
             if args.metrics_out else None)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache dir: {stats['dir']}")
+        print(f"entries: {stats['entries']} "
+              f"({stats['bytes']} bytes on disk)")
+        print(f"current model (v{stats['model_version']}): "
+              f"{stats['current_model_entries']} entries")
+        stale = stats["entries"] - stats["current_model_entries"]
+        if stale:
+            print(f"stale entries: {stale} "
+                  "(run `cache clear --stale-only` to drop them)")
+        return 0
+    removed = cache.clear(stale_only=args.stale_only)
+    what = "stale entries" if args.stale_only else "entries"
+    print(f"removed {removed} {what} from {cache.dir}")
     return 0
 
 
@@ -448,6 +508,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "experiment":

@@ -601,8 +601,9 @@ class CacheCraft(ProtectionScheme):
                        dirty=True, verified=False, low_priority=True)
 
 
-def _popcount(mask: int) -> int:
-    return bin(mask).count("1")
+# Bound method descriptor: ``_popcount(mask)`` == ``mask.bit_count()``
+# without the per-call attribute lookup (this runs on every grant).
+_popcount = int.bit_count
 
 
 def _noop() -> None:

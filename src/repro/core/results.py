@@ -5,6 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+#: Version string of the simulation model itself.  Bump whenever a
+#: change alters *what a simulation produces* (timing, traffic,
+#: counters) — persistent result caches key on it, so a bump
+#: invalidates every stored result.  Pure refactors and new analysis
+#: code do not require a bump.
+MODEL_VERSION = "3"
+
 
 @dataclass
 class RunResult:
@@ -101,6 +108,40 @@ class RunResult:
         if include_stats:
             payload["stats"] = self.stats
         return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full-fidelity serialization (JSON-safe); inverse of
+        :meth:`from_dict`.  Unlike :meth:`to_json` this round-trips
+        every field, so persistent result caches can rehydrate an
+        identical :class:`RunResult`."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "traffic": dict(self.traffic),
+            "stats": dict(self.stats),
+            "storage_overhead": self.storage_overhead,
+            "sram_overhead_bytes": self.sram_overhead_bytes,
+            "host_seconds": self.host_seconds,
+            "latency": dict(self.latency),
+            "config_summary": dict(self.config_summary),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        """Rehydrate a result serialized with :meth:`to_dict`."""
+        return cls(
+            workload=payload["workload"],
+            scheme=payload["scheme"],
+            cycles=payload["cycles"],
+            traffic={k: int(v) for k, v in payload["traffic"].items()},
+            stats=dict(payload["stats"]),
+            storage_overhead=payload.get("storage_overhead", 0.0),
+            sram_overhead_bytes=payload.get("sram_overhead_bytes", 0),
+            host_seconds=payload.get("host_seconds", 0.0),
+            latency=dict(payload.get("latency", {})),
+            config_summary=dict(payload.get("config_summary", {})),
+        )
 
     def summary(self) -> Dict[str, object]:
         """A flat record suitable for table rows."""

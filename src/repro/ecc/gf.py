@@ -31,12 +31,12 @@ def int_to_bytes(value: int, length: int) -> bytes:
 
 def parity(value: int) -> int:
     """Parity (XOR-reduction) of all bits of a non-negative int."""
-    return bin(value).count("1") & 1
+    return value.bit_count() & 1
 
 
 def popcount(value: int) -> int:
     """Number of set bits."""
-    return bin(value).count("1")
+    return value.bit_count()
 
 
 def dot_gf2(a: int, b: int) -> int:

@@ -98,8 +98,8 @@ class TaggedHsiaoCode(ErrorCode):
         # sparse single-error columns.
         candidates = sorted(
             (c for c in range(1, 1 << r)
-             if bin(c).count("1") % 2 == 1 and c not in used and c not in forbidden),
-            key=lambda c: -bin(c).count("1"),
+             if c.bit_count() % 2 == 1 and c not in used and c not in forbidden),
+            key=lambda c: -c.bit_count(),
         )
         for cand in candidates:
             chosen.append(cand)

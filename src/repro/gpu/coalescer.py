@@ -41,7 +41,7 @@ def coalesce_summary(transactions: List[Tuple[int, int]]) -> Dict[str, int]:
     """
     sectors = 0
     for _line, mask in transactions:
-        sectors += bin(mask).count("1")
+        sectors += mask.bit_count()
     return {"lines": len(transactions), "sectors": sectors}
 
 

@@ -114,7 +114,7 @@ class L2Slice:
         if not newly:
             return
         line.poisoned_mask |= newly
-        self._poisoned.add(bin(newly).count("1"))
+        self._poisoned.add(newly.bit_count())
         self._poison_active = True
         if self._trace_l2:
             self._tracer.instant(
@@ -155,7 +155,7 @@ class L2Slice:
                 and _line.poisoned_mask & hit_mask:
             # The consumer receives poison instead of silent corruption.
             self._poison_served.add(
-                bin(_line.poisoned_mask & hit_mask).count("1"))
+                (_line.poisoned_mask & hit_mask).bit_count())
         miss_mask = sector_mask & ~hit_mask
         if not miss_mask:
             if token is not None:

@@ -278,7 +278,7 @@ class StreamingMultiprocessor:
 
     def _queue_response(self, slice_id: int, line_addr: int, mask: int,
                         token=None) -> None:
-        sectors = bin(mask).count("1")
+        sectors = mask.bit_count()
         self.crossbar.send_response(
             slice_id, sectors,
             lambda: self._on_l2_response(line_addr, mask, token))
@@ -327,7 +327,7 @@ class StreamingMultiprocessor:
         slice_id = self.route(line_addr)
         slice_obj = self.slices[slice_id]
         self.crossbar.send_request(
-            slice_id, bin(mask).count("1"),
+            slice_id, mask.bit_count(),
             lambda: slice_obj.receive_atomic(
                 line_addr, mask, self.store_credits.release))
         return True
@@ -342,7 +342,7 @@ class StreamingMultiprocessor:
             pass  # data updated in place; no state change needed
         slice_id = self.route(line_addr)
         slice_obj = self.slices[slice_id]
-        sectors = bin(mask).count("1")
+        sectors = mask.bit_count()
         self.crossbar.send_request(
             slice_id, sectors,
             lambda: slice_obj.receive_store(

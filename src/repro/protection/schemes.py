@@ -491,7 +491,7 @@ class InlineFullGranule(MetadataCacheScheme):
                                    RequestKind.DATA, part_done)
                 if extra:
                     pending[0] += 1
-                    self._overfetch_sectors.add(bin(extra).count("1"))
+                    self._overfetch_sectors.add(extra.bit_count())
                     self.read_mask(slice_id, g_line, extra,
                                    RequestKind.VERIFY_FILL, part_done)
             pending[0] += 1
@@ -517,7 +517,7 @@ class InlineFullGranule(MetadataCacheScheme):
                 held = valid_mask if g_line == line_addr else 0
                 missing = g_mask & ~held
                 if missing:
-                    self._rmw_sectors.add(bin(missing).count("1"))
+                    self._rmw_sectors.add(missing.bit_count())
                     self.read_mask(slice_id, g_line, missing,
                                    RequestKind.VERIFY_FILL, _noop)
             self._update_meta_atom(slice_id, ctx.layout.metadata_atom(granule))

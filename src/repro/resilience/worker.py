@@ -39,6 +39,7 @@ from typing import Any, Dict
 
 from repro.analysis.harness import bench_config, bench_gen_ctx
 from repro.core.config import ResilienceConfig
+from repro.core.results import RunResult
 from repro.core.system import GpuSystem
 from repro.resilience.faults import make_process
 from repro.resilience.recovery import RecoveryPolicy
@@ -64,15 +65,29 @@ def build_cell_config(spec: Dict[str, Any]):
     return config
 
 
-def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one cell spec and return its JSON-ready result object."""
+def run_cell_result(spec: Dict[str, Any]) -> "RunResult":
+    """Run one cell spec and return the full
+    :class:`~repro.core.results.RunResult`.
+
+    This is the simulation core both entry points share: the JSON
+    subprocess boundary (:func:`run_cell`) wraps it in a summary
+    object, while the in-process parallel harness
+    (:meth:`repro.analysis.harness.ExperimentHarness.matrix` with
+    ``workers``) calls it directly through a ``ProcessPoolExecutor``.
+    A spec travelling through pickle may carry the fully-built
+    :class:`~repro.core.config.SystemConfig` under ``"config"``;
+    otherwise the config is reconstructed from the JSON fields via
+    :func:`build_cell_config`.
+    """
     sabotage = spec.get("sabotage")
     if sabotage == "hang":
         time.sleep(3600)
     elif sabotage == "crash":
         os._exit(13)
 
-    config = build_cell_config(spec)
+    config = spec.get("config")
+    if config is None:
+        config = build_cell_config(spec)
     system = GpuSystem(config)
     workload = make_workload(spec["workload"],
                              **spec.get("workload_params", {}))
@@ -90,7 +105,12 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
     started = time.perf_counter()
     cycles = system.run(max_events=spec.get("max_events"), watchdog=watchdog)
     host_seconds = time.perf_counter() - started
-    result = system.result(workload.name, cycles, host_seconds)
+    return system.result(workload.name, cycles, host_seconds)
+
+
+def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell spec and return its JSON-ready result object."""
+    result = run_cell_result(spec)
     resilience_stats = {
         k: v for k, v in result.stats.items()
         if k.startswith(("resilience.", "injector."))
@@ -98,12 +118,12 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "cell": spec.get("cell", f"{spec['workload']}/{spec['scheme']}"),
         "status": "ok",
-        "workload": workload.name,
+        "workload": result.workload,
         "scheme": spec["scheme"],
-        "cycles": cycles,
+        "cycles": result.cycles,
         "traffic": result.traffic,
         "resilience": resilience_stats,
-        "host_seconds": round(host_seconds, 3),
+        "host_seconds": round(result.host_seconds, 3),
     }
 
 

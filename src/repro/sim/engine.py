@@ -193,34 +193,68 @@ class Simulator:
         executed = 0
         if watchdog is not None:
             watchdog.start()
+        # Hoisted hot-loop state.  ``self._daemons`` and ``self._queue``
+        # contents mutate inside fn(*args), so the loop condition reads
+        # them fresh each iteration; only the bindings that cannot
+        # change (the queue list object, heappop) are hoisted.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while len(self._queue) > self._daemons:
-                when, _seq, fn, args = self._queue[0]
-                if until is not None and when > until:
-                    break
-                heapq.heappop(self._queue)
-                self._now = when
-                fn(*args)
-                executed += 1
-                self.events_executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely a livelock"
-                    )
-                if watchdog is not None:
-                    watchdog.on_event(self._now)
+            if until is None and max_events is None and watchdog is None:
+                # Fast path: no stop-time check, no budget, no guard.
+                while len(queue) > self._daemons:
+                    when, _seq, fn, args = heappop(queue)
+                    self._now = when
+                    fn(*args)
+                    executed += 1
+            else:
+                while len(queue) > self._daemons:
+                    when, _seq, fn, args = queue[0]
+                    if until is not None and when > until:
+                        break
+                    heappop(queue)
+                    self._now = when
+                    fn(*args)
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            f"likely a livelock"
+                        )
+                    if watchdog is not None:
+                        watchdog.on_event(self._now)
         finally:
             self._running = False
+            self.events_executed += executed
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
-    def step(self) -> bool:
-        """Execute the single next event.  Returns False if queue empty."""
+    def step(self, include_daemons: bool = False) -> bool:
+        """Execute the single next event.  Returns False when no
+        runnable event remains.
+
+        Like :meth:`run`, stepping honors the daemon stop condition: a
+        queue holding only daemon events reports False without
+        executing them or advancing time (otherwise stepping a finite
+        simulation to exhaustion could spin forever on a
+        self-rescheduling daemon).  Pass ``include_daemons=True`` to
+        execute daemons anyway (a test escape hatch).  Calling
+        ``step()`` from inside an event raises, matching :meth:`run`'s
+        re-entrancy guard.
+        """
+        if self._running:
+            raise SimulationError("step() re-entered from inside an event")
+        if not include_daemons and len(self._queue) <= self._daemons:
+            return False
         if not self._queue:
             return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
-        self._now = when
-        fn(*args)
-        self.events_executed += 1
+        self._running = True
+        try:
+            when, _seq, fn, args = heapq.heappop(self._queue)
+            self._now = when
+            fn(*args)
+            self.events_executed += 1
+        finally:
+            self._running = False
         return True

@@ -6,6 +6,17 @@ from repro.core.config import SystemConfig, test_config
 from repro.workloads.base import GenContext
 
 
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Keep every test away from the user's real ~/.cache/repro.
+
+    CLI paths (``compare``) persist results by default, so an
+    unisolated run would both pollute the developer's cache and let a
+    warm cache mask simulation bugs."""
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("result-cache")))
+
+
 @pytest.fixture
 def small_config() -> SystemConfig:
     """A 2-SM, 256 KiB-L2 machine that simulates in well under a second."""

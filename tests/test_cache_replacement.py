@@ -31,8 +31,9 @@ class TestLru:
         for way in range(4):
             lru.on_access(way)
         lru.on_fill(0, low_priority=True)
-        # way 0 sits at LRU+1: victim is way 1, then 0 right after.
-        assert lru.victim() == 1
+        # Evict-next contract (same as SRRIP/TreePLRU): the
+        # low-priority fill is the immediate victim, not LRU+1.
+        assert lru.victim() == 0
         lru.on_access(1)
         assert lru.victim() == 0
 
@@ -95,6 +96,32 @@ class TestSrrip:
         srrip.on_fill(1)
         srrip.on_access(1)
         assert srrip.victim() in (0, 1)  # aging loop must terminate
+
+
+class TestLowPriorityContract:
+    """Every ordered policy agrees: a low-priority fill is evict-next
+    until something else touches the set."""
+
+    @pytest.mark.parametrize("cls", [LruPolicy, TreePlruPolicy, SrripPolicy])
+    def test_low_priority_fill_is_immediate_victim(self, cls):
+        policy = cls(4)
+        for way in range(4):
+            policy.on_fill(way)
+            policy.on_access(way)
+        target = policy.victim()
+        policy.on_fill(target, low_priority=True)
+        assert policy.victim() == target
+
+    @pytest.mark.parametrize("cls", [LruPolicy, TreePlruPolicy, SrripPolicy])
+    def test_access_promotes_low_priority_fill(self, cls):
+        policy = cls(4)
+        for way in range(4):
+            policy.on_fill(way)
+            policy.on_access(way)
+        target = policy.victim()
+        policy.on_fill(target, low_priority=True)
+        policy.on_access(target)
+        assert policy.victim() != target
 
 
 class TestRandom:

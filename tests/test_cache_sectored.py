@@ -82,6 +82,32 @@ class TestLookupAndFill:
         assert flat["c.hits"] == 1
         assert flat["c.sector_misses"] == 1
 
+    def test_lookup_mask_line_miss_counts_once_per_access(self):
+        # A 4-sector tag miss is ONE access, exactly like lookup();
+        # pre-fix lookup_mask inflated line_misses by the sector count,
+        # skewing hit rates by entry point.
+        cache = make_cache()
+        cache.lookup_mask(99, 0b1111)
+        flat = cache.stats.flatten()
+        assert flat["c.line_misses"] == 1
+        assert flat["c.line_miss_sectors"] == 4
+        assert flat["c.sector_misses"] == 0
+
+    def test_lookup_and_lookup_mask_agree_on_line_miss(self):
+        one = make_cache()
+        one.lookup(99 * 128)                 # single-sector entry point
+        other = make_cache()
+        other.lookup_mask(99, 0b0001)        # same request, mask form
+        assert one.stats.flatten() == other.stats.flatten()
+
+    def test_line_miss_sector_volume_tracked(self):
+        cache = make_cache()
+        cache.lookup(50 * 128)        # 1 access, 1 sector
+        cache.lookup_mask(99, 0b0111)  # 1 access, 3 sectors
+        flat = cache.stats.flatten()
+        assert flat["c.line_misses"] == 2
+        assert flat["c.line_miss_sectors"] == 4
+
 
 class TestEviction:
     def test_eviction_on_conflict(self):
@@ -175,6 +201,49 @@ class TestInvalidateFlush:
         evictions = cache.flush()
         assert len(evictions) == 3
         assert cache.occupancy() == 0.0
+
+    def test_invalidate_counts_eviction_and_writeback(self):
+        # Pre-fix, invalidate() silently dropped lines: eviction and
+        # writeback counters stayed at zero and traffic accounting
+        # under-reported the recovery path.
+        cache = make_cache()
+        line, _ = cache.allocate(9)
+        cache.fill_sector(line, 0, dirty=True)
+        cache.invalidate(9)
+        flat = cache.stats.flatten()
+        assert flat["c.evictions"] == 1
+        assert flat["c.writebacks"] == 1
+
+    def test_invalidate_clean_counts_eviction_only(self):
+        cache = make_cache()
+        line, _ = cache.allocate(9)
+        cache.fill_sector(line, 0, dirty=False)
+        cache.invalidate(9)
+        flat = cache.stats.flatten()
+        assert flat["c.evictions"] == 1
+        assert flat["c.writebacks"] == 0
+
+    def test_invalidate_empty_line_counts_nothing(self):
+        cache = make_cache()
+        cache.allocate(9)  # allocated but no sector ever filled
+        cache.invalidate(9)
+        flat = cache.stats.flatten()
+        assert flat["c.evictions"] == 0
+        assert flat["c.writebacks"] == 0
+
+    def test_flush_stats_match_returned_work_without_double_count(self):
+        # flush() delegates counting to invalidate(); the sum must be
+        # exactly one eviction per valid line and one writeback per
+        # dirty line — not two (the pre-fix code counted writebacks in
+        # both places once invalidate learned to count).
+        cache = make_cache()
+        for i in range(6):
+            line, _ = cache.allocate(i)
+            cache.fill_sector(line, 0, dirty=(i % 2 == 0))
+        evictions = cache.flush()
+        flat = cache.stats.flatten()
+        assert flat["c.evictions"] == 6
+        assert flat["c.writebacks"] == 3 == len(evictions)
 
 
 class TestMetadataLines:

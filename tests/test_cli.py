@@ -99,6 +99,58 @@ def test_compare_per_scheme_outputs(tmp_path, capsys):
     assert payload["traceEvents"]
 
 
+def test_compare_warm_cache_runs_zero_simulations(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["compare", "-w", "vecadd", "--scale", "0.03",
+            "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "6 simulated, 0 from cache" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 simulated, 6 from cache" in warm
+    # The tables themselves must be identical, cold or warm (only the
+    # trailing "N simulated" summary line differs).
+    assert cold.splitlines()[:-1] == warm.splitlines()[:-1]
+
+
+def test_compare_no_cache_flag(tmp_path, capsys):
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache",
+               "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 0
+    assert "persistent cache off" in capsys.readouterr().out
+    assert not (tmp_path / "cache").exists()
+
+
+def test_compare_workers_matches_serial(tmp_path, capsys):
+    main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache"])
+    serial = capsys.readouterr().out
+    main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache",
+          "--workers", "2"])
+    parallel = capsys.readouterr().out
+    assert serial.splitlines()[:-1] == parallel.splitlines()[:-1]
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["compare", "-w", "vecadd", "--scale", "0.03",
+          "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 6" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 6 entries" in capsys.readouterr().out
+    main(["cache", "stats", "--cache-dir", cache_dir])
+    assert "entries: 0" in capsys.readouterr().out
+
+
+def test_cache_stats_empty_dir(tmp_path, capsys):
+    assert main(["cache", "stats", "--cache-dir",
+                 str(tmp_path / "nothing")]) == 0
+    assert "entries: 0" in capsys.readouterr().out
+
+
 def test_invalid_workload_rejected():
     with pytest.raises(SystemExit):
         main(["run", "-w", "notaworkload"])

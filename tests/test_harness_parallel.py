@@ -1,0 +1,102 @@
+"""Parallel experiment-grid tests.
+
+The contract under test: ``matrix(workers=N)`` produces results
+bit-identical to the serial path — every :class:`RunResult` field equal
+except ``host_seconds`` (wall clock) — with identical dict ordering,
+and ``normalized_performance`` runs a missing baseline implicitly
+instead of raising.
+"""
+
+import pytest
+
+from repro.analysis.harness import ExperimentHarness, compare_schemes
+
+WORKLOADS = ["vecadd", "pchase"]
+SCHEMES = ["none", "cachecraft"]
+SCALE = 0.05
+
+
+def comparable(result) -> dict:
+    """A RunResult's identity-relevant fields (host wall time varies)."""
+    payload = result.to_dict()
+    payload.pop("host_seconds")
+    return payload
+
+
+@pytest.fixture(scope="module")
+def serial_grid():
+    harness = ExperimentHarness(scale=SCALE)
+    return harness.matrix(WORKLOADS, SCHEMES)
+
+
+class TestParallelMatrix:
+    def test_bit_identical_to_serial(self, serial_grid):
+        harness = ExperimentHarness(scale=SCALE)
+        grid = harness.matrix(WORKLOADS, SCHEMES, workers=2)
+        assert harness.sims_run == len(WORKLOADS) * len(SCHEMES)
+        for wl in WORKLOADS:
+            for sc in SCHEMES:
+                assert comparable(grid[wl][sc]) \
+                    == comparable(serial_grid[wl][sc]), f"{wl}/{sc} differs"
+
+    def test_ordering_matches_serial(self, serial_grid):
+        harness = ExperimentHarness(scale=SCALE)
+        grid = harness.matrix(WORKLOADS, SCHEMES, workers=3)
+        assert list(grid) == list(serial_grid) == WORKLOADS
+        for wl in WORKLOADS:
+            assert list(grid[wl]) == list(serial_grid[wl]) == SCHEMES
+
+    def test_workers_one_uses_serial_path(self, serial_grid):
+        harness = ExperimentHarness(scale=SCALE)
+        grid = harness.matrix(WORKLOADS, SCHEMES, workers=1)
+        for wl in WORKLOADS:
+            for sc in SCHEMES:
+                assert comparable(grid[wl][sc]) \
+                    == comparable(serial_grid[wl][sc])
+
+    def test_parallel_fills_memory_cache(self):
+        harness = ExperimentHarness(scale=SCALE)
+        harness.matrix(["vecadd"], SCHEMES, workers=2)
+        assert harness.sims_run == len(SCHEMES)
+        harness.matrix(["vecadd"], SCHEMES)  # serial rerun: all cached
+        assert harness.sims_run == len(SCHEMES)
+
+    def test_obs_factory_rejected_in_parallel(self):
+        harness = ExperimentHarness(scale=SCALE,
+                                    obs_factory=lambda _w, _s: None)
+        with pytest.raises(ValueError, match="obs"):
+            harness.matrix(["vecadd"], ["none"], workers=2)
+
+
+class TestNormalizedPerformance:
+    def test_implicit_baseline_not_in_schemes(self):
+        # Pre-fix this raised KeyError('none'): the baseline was looked
+        # up in the grid without ever being run.
+        harness = ExperimentHarness(scale=SCALE)
+        table = harness.normalized_performance(["vecadd"], ["cachecraft"],
+                                               baseline="none")
+        assert list(table["vecadd"]) == ["cachecraft"]
+        assert table["vecadd"]["cachecraft"] > 0
+        assert "geomean" in table
+
+    def test_explicit_baseline_row_kept(self):
+        harness = ExperimentHarness(scale=SCALE)
+        table = harness.normalized_performance(["vecadd"], SCHEMES,
+                                               baseline="none")
+        assert table["vecadd"]["none"] == pytest.approx(1.0)
+
+    def test_parallel_matches_serial(self):
+        serial = ExperimentHarness(scale=SCALE).normalized_performance(
+            WORKLOADS, SCHEMES)
+        parallel = ExperimentHarness(scale=SCALE).normalized_performance(
+            WORKLOADS, SCHEMES, workers=2)
+        assert parallel == serial
+
+
+def test_compare_schemes_workers_and_harness():
+    harness = ExperimentHarness(scale=SCALE)
+    rows = compare_schemes("vecadd", SCHEMES, scale=SCALE,
+                           workers=2, harness=harness)
+    assert [r["scheme"] for r in rows] == SCHEMES
+    assert rows[0]["norm_perf"] == pytest.approx(1.0)
+    assert harness.sims_run == len(SCHEMES)

@@ -1,0 +1,198 @@
+"""Unit tests for the persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.analysis.harness import ExperimentHarness, bench_config
+from repro.analysis.result_cache import (ResultCache, cache_key,
+                                         default_cache_dir)
+from repro.core.results import MODEL_VERSION, RunResult
+
+
+def make_result(**overrides) -> RunResult:
+    fields = dict(
+        workload="vecadd", scheme="cachecraft", cycles=1234,
+        traffic={"data": 1000, "metadata": 50},
+        stats={"l2.cache.hits": 10.0, "l2.cache.sector_misses": 2.0},
+        storage_overhead=0.031, sram_overhead_bytes=4096,
+        host_seconds=0.5, latency={"dram": 9.0},
+        config_summary={"scheme": "cachecraft"})
+    fields.update(overrides)
+    return RunResult(**fields)
+
+
+class TestRunResultRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        original = make_result()
+        clone = RunResult.from_dict(
+            json.loads(json.dumps(original.to_dict())))
+        assert clone.to_dict() == original.to_dict()
+        assert clone == original
+
+    def test_from_dict_defaults_optional_fields(self):
+        minimal = {"workload": "w", "scheme": "s", "cycles": 1,
+                   "traffic": {}, "stats": {}}
+        result = RunResult.from_dict(minimal)
+        assert result.latency == {} and result.host_seconds == 0.0
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        cfg = bench_config().with_scheme("cachecraft")
+        assert cache_key("vecadd", cfg, 0.3, 42) \
+            == cache_key("vecadd", cfg, 0.3, 42)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda c: ("spmv", c, 0.3, 42),                         # workload
+        lambda c: ("vecadd", c.with_scheme("none"), 0.3, 42),   # scheme
+        lambda c: ("vecadd", c.with_gpu(num_sms=2), 0.3, 42),   # machine
+        lambda c: ("vecadd", c, 0.1, 42),                       # scale
+        lambda c: ("vecadd", c, 0.3, 7),                        # seed
+        lambda c: ("vecadd", c.with_protection(granule_bytes=64),
+                   0.3, 42),                                    # knobs
+    ])
+    def test_any_input_change_changes_key(self, mutate):
+        cfg = bench_config().with_scheme("cachecraft")
+        assert cache_key(*mutate(cfg)) != cache_key("vecadd", cfg, 0.3, 42)
+
+    def test_workload_params_participate(self):
+        cfg = bench_config().with_scheme("cachecraft")
+        assert cache_key("vecadd", cfg, 0.3, 42, {"stride": 2}) \
+            != cache_key("vecadd", cfg, 0.3, 42)
+
+    def test_model_version_participates(self, monkeypatch):
+        cfg = bench_config().with_scheme("cachecraft")
+        before = cache_key("vecadd", cfg, 0.3, 42)
+        monkeypatch.setattr("repro.analysis.result_cache.MODEL_VERSION",
+                            MODEL_VERSION + ".test")
+        assert cache_key("vecadd", cfg, 0.3, 42) != before
+
+
+class TestResultCacheStore:
+    def test_get_on_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = bench_config().with_scheme("cachecraft")
+        key = cache.key_for("vecadd", cfg, 0.3, 42)
+        original = make_result()
+        path = cache.put(key, original)
+        assert path.is_file()
+        got = cache.get(key)
+        assert got == original
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_stale_model_version_entry_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("vecadd",
+                            bench_config().with_scheme("none"), 0.3, 42)
+        path = cache.put(key, make_result(scheme="none"))
+        entry = json.loads(path.read_text())
+        entry["model_version"] = "stale"
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("vecadd",
+                            bench_config().with_scheme("none"), 0.3, 42)
+        path = cache.put(key, make_result(scheme="none"))
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = bench_config()
+        for seed in range(3):
+            key = cache.key_for("vecadd", cfg.with_scheme("none"), 0.3, seed)
+            cache.put(key, make_result(scheme="none"))
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["current_model_entries"] == 3
+        assert stats["bytes"] > 0
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_clear_stale_only_keeps_current_model(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = bench_config().with_scheme("none")
+        keep = cache.key_for("vecadd", cfg, 0.3, 1)
+        cache.put(keep, make_result(scheme="none"))
+        stale_path = cache.put(cache.key_for("vecadd", cfg, 0.3, 2),
+                               make_result(scheme="none"))
+        entry = json.loads(stale_path.read_text())
+        entry["model_version"] = "old"
+        stale_path.write_text(json.dumps(entry))
+        assert cache.clear(stale_only=True) == 1
+        assert cache.get(keep) is not None
+
+    def test_stats_on_missing_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.stats()["entries"] == 0
+        assert cache.clear() == 0
+
+
+class TestDefaultCacheDir:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro"
+
+
+class TestHarnessIntegration:
+    SCHEMES = ("none", "cachecraft")
+
+    def test_warm_cache_runs_zero_simulations(self, tmp_path):
+        cold = ExperimentHarness(scale=0.05, cache_dir=tmp_path)
+        grid = cold.matrix(["vecadd"], self.SCHEMES)
+        assert cold.sims_run == len(self.SCHEMES)
+
+        # A brand-new harness (fresh in-memory cache, new process in
+        # real life) must serve everything from disk.
+        warm = ExperimentHarness(scale=0.05, cache_dir=tmp_path)
+        warm_grid = warm.matrix(["vecadd"], self.SCHEMES)
+        assert warm.sims_run == 0
+        assert warm.result_cache.hits == len(self.SCHEMES)
+        for scheme in self.SCHEMES:
+            assert warm_grid["vecadd"][scheme].to_dict() \
+                == grid["vecadd"][scheme].to_dict()
+
+    def test_warm_cache_serves_parallel_matrix(self, tmp_path):
+        cold = ExperimentHarness(scale=0.05, cache_dir=tmp_path)
+        cold.matrix(["vecadd"], self.SCHEMES)
+        warm = ExperimentHarness(scale=0.05, cache_dir=tmp_path)
+        warm.matrix(["vecadd"], self.SCHEMES, workers=2)
+        assert warm.sims_run == 0
+
+    def test_scale_change_misses(self, tmp_path):
+        first = ExperimentHarness(scale=0.05, cache_dir=tmp_path)
+        first.matrix(["vecadd"], ["none"])
+        second = ExperimentHarness(scale=0.1, cache_dir=tmp_path)
+        second.matrix(["vecadd"], ["none"])
+        assert second.sims_run == 1
+
+    def test_obs_factory_bypasses_persistent_cache(self, tmp_path):
+        seeded = ExperimentHarness(scale=0.05, cache_dir=tmp_path)
+        seeded.run("vecadd", "none")
+        observed = ExperimentHarness(
+            scale=0.05, cache_dir=tmp_path,
+            obs_factory=lambda _w, _s: None)
+        observed.run("vecadd", "none")
+        # Must simulate despite a warm entry: the observers have to run.
+        assert observed.sims_run == 1
+
+    def test_no_cache_dir_means_no_persistence(self, tmp_path):
+        harness = ExperimentHarness(scale=0.05)
+        assert harness.result_cache is None
+        harness.run("vecadd", "none")
+        again = ExperimentHarness(scale=0.05)
+        again.run("vecadd", "none")
+        assert again.sims_run == 1

@@ -111,6 +111,92 @@ def test_step_executes_single_event():
     assert sim.step() is False
 
 
+class TestStepDaemonAware:
+    def test_step_skips_lone_daemon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_daemon(10, fired.append, "tick")
+        assert sim.step() is False
+        assert fired == [] and sim.now == 0
+        assert sim.pending() == 1  # the daemon stays queued, untouched
+
+    def test_step_runs_daemon_while_real_work_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_daemon(5, fired.append, "tick")
+        sim.schedule(20, fired.append, "work")
+        assert sim.step() is True
+        assert fired == ["tick"]
+        assert sim.step() is True
+        assert fired == ["tick", "work"]
+        assert sim.step() is False
+
+    def test_step_to_exhaustion_terminates_with_self_rescheduling_daemon(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule_daemon(10, tick)
+
+        sim.schedule_daemon(10, tick)
+        sim.schedule(35, lambda: None)
+        steps = 0
+        while sim.step():
+            steps += 1
+            assert steps < 100  # pre-fix this spun forever on the daemon
+        # Same stop condition as run(): ticks at 10/20/30, then the
+        # real event; the tick due at 40 is left queued.
+        assert ticks == [10, 20, 30]
+        assert sim.pending_work() == 0 and sim.pending() == 1
+
+    def test_include_daemons_escape_hatch(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_daemon(10, fired.append, "tick")
+        assert sim.step(include_daemons=True) is True
+        assert fired == ["tick"] and sim.now == 10
+        assert sim.step(include_daemons=True) is False  # queue truly empty
+
+    def test_step_counts_events_executed(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        while sim.step():
+            pass
+        assert sim.events_executed == 2
+
+
+def test_step_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, bad)
+    assert sim.step() is True
+    assert len(errors) == 1
+
+
+def test_step_inside_run_rejected():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, bad)
+    sim.run()
+    assert len(errors) == 1
+
+
 def test_events_scheduled_during_run_execute():
     sim = Simulator()
     fired = []
