@@ -114,6 +114,12 @@ def main() -> int:
                         help="workload scale for the real-sim benchmark")
     parser.add_argument("--repeats", type=int, default=3,
                         help="runs per figure; best (fastest) is reported")
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="run-ledger JSONL to append the figures to "
+                             "(default: $REPRO_LEDGER or the cache-dir "
+                             "ledger; see docs/OBSERVABILITY.md)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="do not append this run to the ledger")
     args = parser.parse_args()
 
     payload = run_benchmark(args.raw_events, args.scale, args.repeats)
@@ -128,6 +134,14 @@ def main() -> int:
     print(f"real sim   : {sim['events_per_sec']:>12,} events/sec "
           f"({sim['events']:,} events in {sim['seconds']}s)")
     print(f"wrote {args.output}")
+    if not args.no_ledger:
+        from repro.obs.ledger import record_from_bench, resolve_ledger
+
+        ledger = resolve_ledger(args.ledger)
+        if ledger is not None:
+            run_id = ledger.safe_append(record_from_bench(payload))
+            if run_id:
+                print(f"ledger: appended run {run_id} to {ledger.path}")
     return 0
 
 

@@ -19,6 +19,7 @@ from repro.analysis.result_cache import ResultCache
 from repro.core.config import ALL_SCHEMES, SystemConfig
 from repro.core.results import RunResult
 from repro.core.system import run_workload
+from repro.obs.ledger import RunLedger, record_from_result, resolve_ledger
 from repro.sim.engine import Watchdog
 from repro.workloads import make_workload
 from repro.workloads.base import GenContext, Workload
@@ -58,7 +59,10 @@ class ExperimentHarness:
                  max_events: Optional[int] = 50_000_000,
                  max_wall_seconds: Optional[float] = None,
                  cache_dir: Union[None, str, os.PathLike,
-                                  ResultCache] = None):
+                                  ResultCache] = None,
+                 ledger: Union[None, bool, str, os.PathLike,
+                               RunLedger] = None,
+                 ledger_label: str = "harness"):
         self.config = config or bench_config()
         self.scale = scale
         self.seed = seed
@@ -81,6 +85,14 @@ class ExperimentHarness:
             cache_dir if isinstance(cache_dir, ResultCache)
             else ResultCache(cache_dir) if cache_dir is not None
             else None)
+        #: Cross-run telemetry ledger (see :mod:`repro.obs.ledger`):
+        #: every cell this harness resolves — simulated or pulled from
+        #: the persistent cache — appends one provenance record, once
+        #: per harness.  ``None``/``True`` uses the environment default
+        #: (``REPRO_LEDGER=off`` disables); ``False`` opts out.
+        self.ledger: Optional[RunLedger] = resolve_ledger(ledger)
+        self.ledger_label = ledger_label
+        self._ledger_logged: set = set()
         #: Simulations actually executed by this harness (cache hits,
         #: in-memory or persistent, do not count).
         self.sims_run = 0
@@ -119,6 +131,19 @@ class ExperimentHarness:
             meta={"workload": workload, "scheme": cfg.protection.scheme,
                   "scale": self.scale, "seed": self.seed})
 
+    def _ledger_record(self, workload: str, cfg: SystemConfig,
+                       result: RunResult, cached: bool, key: Tuple) -> None:
+        """Append one ledger record per cell per harness (a failing
+        ledger never fails the experiment)."""
+        if self.ledger is None or key in self._ledger_logged:
+            return
+        self._ledger_logged.add(key)
+        self.ledger.safe_append(record_from_result(
+            result, label=self.ledger_label, config=cfg,
+            scale=self.scale, seed=self.seed,
+            workload_params=self.workload_params.get(workload, {}),
+            cached=cached))
+
     def run(self, workload: str, scheme: str,
             config: Optional[SystemConfig] = None, **protection_overrides
             ) -> RunResult:
@@ -128,8 +153,10 @@ class ExperimentHarness:
         key = self._mem_key(workload, cfg)
         cached = self._cache.get(key)
         if cached is not None:
+            self._ledger_record(workload, cfg, cached, True, key)
             return cached
         result = self._persistent_get(workload, cfg)
+        from_cache = result is not None
         if result is None:
             obs = (self.obs_factory(workload, scheme)
                    if self.obs_factory else None)
@@ -143,6 +170,7 @@ class ExperimentHarness:
             self.sims_run += 1
             self._persistent_put(workload, cfg, result)
         self._cache[key] = result
+        self._ledger_record(workload, cfg, result, from_cache, key)
         return result
 
     def run_campaign(self, workloads: Sequence[str],
@@ -172,7 +200,8 @@ class ExperimentHarness:
             else self.max_events,
             max_wall_seconds=self.max_wall_seconds)
         runner = CampaignRunner(journal_path, workers=workers,
-                                timeout=timeout, max_attempts=max_attempts)
+                                timeout=timeout, max_attempts=max_attempts,
+                                ledger=self.ledger)
         return runner.run(cells, resume=resume, progress=progress)
 
     def matrix(self, workloads: Sequence[str],
@@ -240,6 +269,7 @@ class ExperimentHarness:
                         self._cache[key] = cached
                 if cached is not None:
                     grid[wl][sc] = cached
+                    self._ledger_record(wl, cfg, cached, True, key)
                 else:
                     todo.append((wl, sc, cfg, key))
         if todo:
@@ -254,6 +284,10 @@ class ExperimentHarness:
                     self.sims_run += 1
                     self._cache[key] = result
                     self._persistent_put(wl, cfg, result)
+                    # Subprocess workers cannot observe, but cross-run
+                    # telemetry must survive the process boundary: the
+                    # parent appends on result receipt.
+                    self._ledger_record(wl, cfg, result, False, key)
                     grid[wl][sc] = result
         return {wl: {sc: grid[wl][sc] for sc in schemes}
                 for wl in workloads}
@@ -293,7 +327,9 @@ def compare_schemes(workload: str,
                     workers: Optional[int] = None,
                     cache_dir: Union[None, str, os.PathLike,
                                      ResultCache] = None,
-                    harness: Optional[ExperimentHarness] = None
+                    harness: Optional[ExperimentHarness] = None,
+                    ledger: Union[None, bool, str, os.PathLike,
+                                  RunLedger] = None
                     ) -> List[dict]:
     """One-call scheme comparison for a single workload.
 
@@ -308,7 +344,7 @@ def compare_schemes(workload: str,
     if harness is None:
         harness = ExperimentHarness(config=config, scale=scale, seed=seed,
                                     obs_factory=obs_factory,
-                                    cache_dir=cache_dir)
+                                    cache_dir=cache_dir, ledger=ledger)
     grid = harness.matrix([workload], schemes, workers=workers)
     results = [grid[workload][scheme] for scheme in schemes]
     base = results[0]

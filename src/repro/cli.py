@@ -15,6 +15,10 @@ Subcommands:
 * ``faults`` — fault-injection coverage campaign for any code;
 * ``campaign`` — resilient multi-cell sweep in subprocess workers with
   timeouts, retries and a resumable JSONL journal (docs/RESILIENCE.md);
+* ``obs`` — cross-run telemetry: ``history``/``diff`` over the run
+  ledger, the ``regress`` sentinel against a committed baseline,
+  ``report --html`` (self-contained) and ``baseline`` seeding
+  (docs/OBSERVABILITY.md);
 * ``trace`` — dump a workload's warp traces to JSON lines;
 * ``report`` — assemble a markdown report from saved benchmark results;
 * ``list`` — list available workloads, schemes, and experiments.
@@ -53,6 +57,29 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                        metavar="CATS",
                        help="comma-separated trace categories "
                             "(sm,l2,mdcache,dram; default all)")
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    """Run-ledger flags shared by run/compare/campaign (and obs)."""
+    group = parser.add_argument_group("run ledger")
+    group.add_argument("--ledger", default=None, metavar="FILE",
+                       help="run-ledger JSONL path (default: $REPRO_LEDGER "
+                            "or <cache dir>/ledger.jsonl)")
+    group.add_argument("--no-ledger", action="store_true",
+                       help="do not record this invocation in the ledger")
+
+
+def _ledger_from_args(args: argparse.Namespace, required: bool = False):
+    """The configured ledger, or None when disabled (flag or env)."""
+    from repro.obs.ledger import resolve_ledger
+
+    if getattr(args, "no_ledger", False):
+        return None
+    ledger = resolve_ledger(args.ledger)
+    if ledger is None and required:
+        raise SystemExit("error: the run ledger is disabled "
+                         "(REPRO_LEDGER=off); pass --ledger FILE")
+    return ledger
 
 
 def _make_obs(args: argparse.Namespace,
@@ -115,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
     _add_obs_args(run_p)
+    _add_ledger_args(run_p)
 
     trace_p = sub.add_parser("trace",
                              help="dump a workload's warp traces to a "
@@ -138,6 +166,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--no-cache", action="store_true",
                        help="do not read or write the persistent cache")
     _add_obs_args(cmp_p)
+    _add_ledger_args(cmp_p)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
@@ -223,6 +252,65 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="testing aid: sabotage a cell "
                              "(MODE: hang|crash|livelock), e.g. "
                              "--sabotage vecadd/none=livelock")
+    _add_ledger_args(camp_p)
+
+    obs_p = sub.add_parser(
+        "obs", help="cross-run telemetry: ledger history, regression "
+                    "sentinel, HTML run report")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    hist_p = obs_sub.add_parser("history",
+                                help="recent ledger records as a table")
+    hist_p.add_argument("--limit", type=int, default=20,
+                        help="most recent records to show (default 20)")
+    hist_p.add_argument("--kind", choices=("run", "bench"), default=None)
+    hist_p.add_argument("--workload", "-w", default=None)
+    hist_p.add_argument("--scheme", "-s", default=None)
+    hist_p.add_argument("--json", action="store_true",
+                        help="emit the records as JSON lines")
+    _add_ledger_args(hist_p)
+
+    diff_p = obs_sub.add_parser(
+        "diff", help="metric-by-metric delta between two ledger records")
+    diff_p.add_argument("run_a", help="run id (or unique prefix)")
+    diff_p.add_argument("run_b", help="run id (or unique prefix)")
+    _add_ledger_args(diff_p)
+
+    regress_p = obs_sub.add_parser(
+        "regress", help="compare latest records against a baseline; "
+                        "exits nonzero on breach")
+    regress_p.add_argument("--baseline", default=None, metavar="FILE",
+                           help="baseline JSON (default "
+                                "benchmarks/results/BASELINE.json)")
+    regress_p.add_argument("--tolerance", action="append", default=[],
+                           metavar="METRIC=REL",
+                           help="override a relative tolerance band, "
+                                "e.g. --tolerance cycles=0.1")
+    regress_p.add_argument("--ignore-model-version", action="store_true",
+                           help="compare even when the baseline was "
+                                "seeded for another MODEL_VERSION")
+    _add_ledger_args(regress_p)
+
+    report_html_p = obs_sub.add_parser(
+        "report", help="self-contained HTML run report from the ledger")
+    report_html_p.add_argument("--html", required=True, metavar="FILE",
+                               help="output HTML path")
+    report_html_p.add_argument("--title", default="CacheCraft run report")
+    report_html_p.add_argument("--limit", type=int, default=None,
+                               help="only the most recent N records")
+    _add_ledger_args(report_html_p)
+
+    baseline_p = obs_sub.add_parser(
+        "baseline", help="seed/update a regression baseline from the "
+                         "latest ledger records")
+    baseline_p.add_argument("--output", "-o", default=None, metavar="FILE",
+                            help="baseline JSON to write (default "
+                                 "benchmarks/results/BASELINE.json)")
+    baseline_p.add_argument("--tolerance", action="append", default=[],
+                            metavar="METRIC=REL",
+                            help="store a tolerance override in the "
+                                 "baseline file")
+    _add_ledger_args(baseline_p)
 
     report_p = sub.add_parser("report",
                               help="assemble a markdown report from saved "
@@ -244,6 +332,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_workload(make_workload(args.workload), config,
                           gen_ctx=gen_ctx, obs=obs)
     _export_obs(obs, args.trace_out, args.metrics_out)
+    ledger = _ledger_from_args(args)
+    if ledger is not None:
+        from repro.obs.ledger import record_from_result
+
+        ledger.safe_append(record_from_result(
+            result, label="cli.run", config=config,
+            scale=args.scale, seed=args.seed))
     if args.json:
         print(result.to_json())
         return 0
@@ -286,11 +381,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if not args.no_cache and obs_factory is None:
         cache_dir = args.cache_dir if args.cache_dir is not None \
             else default_cache_dir()
+    if obs_factory is not None and not args.no_cache:
+        print("note: persistent result cache disabled for this invocation "
+              "(observability flags force live runs; pass --no-cache to "
+              "silence this notice)")
+    workers = args.workers
+    if workers is not None and workers > 1 and obs_factory is not None:
+        # Observers bind to in-process objects, so a parallel matrix
+        # would silently drop --trace-out/--metrics-out; degrade to
+        # serial (and say so) rather than lose the requested output.
+        print("warning: --workers requires unobserved runs; running "
+              "serially so --trace-out/--metrics-out are not lost",
+              file=sys.stderr)
+        workers = None
     harness = ExperimentHarness(scale=args.scale, seed=args.seed,
                                 obs_factory=obs_factory,
-                                cache_dir=cache_dir)
+                                cache_dir=cache_dir,
+                                ledger=_ledger_from_args(args) or False,
+                                ledger_label="cli.compare")
     rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed,
-                           obs_factory=obs_factory, workers=args.workers,
+                           obs_factory=obs_factory, workers=workers,
                            harness=harness)
     table = [[r["scheme"], r["norm_perf"], r["cycles"], r["dram_bytes"],
               r["overhead_bytes"]] for r in rows]
@@ -442,7 +552,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                         sabotage=sabotage or None)
     runner = CampaignRunner(args.journal, workers=args.workers,
                             timeout=args.timeout,
-                            max_attempts=args.max_attempts)
+                            max_attempts=args.max_attempts,
+                            ledger=_ledger_from_args(args))
     summary = runner.run(cells, resume=not args.no_resume, progress=print)
     rows = []
     for cell in cells:
@@ -464,6 +575,136 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                              f"{len(summary.failed)} failed"))
     print(f"journal: {args.journal}")
     return 0 if summary.ok else 1
+
+
+def _parse_tolerances(items) -> dict:
+    tolerances = {}
+    for item in items:
+        metric, sep, value = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            tolerances[metric.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: bad --tolerance spec {item!r} "
+                             "(want METRIC=REL, e.g. cycles=0.1)")
+    return tolerances
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from datetime import datetime
+
+    from repro.obs import htmlreport, regress
+
+    ledger = _ledger_from_args(args, required=True)
+
+    def when(rec) -> str:
+        ts = rec.get("ts")
+        if not isinstance(ts, (int, float)):
+            return "-"
+        return datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M:%S")
+
+    if args.obs_command == "history":
+        records = ledger.records()
+        if args.kind:
+            records = [r for r in records if r.get("kind") == args.kind]
+        if args.workload:
+            records = [r for r in records
+                       if r.get("workload") == args.workload]
+        if args.scheme:
+            records = [r for r in records if r.get("scheme") == args.scheme]
+        records = records[-args.limit:] if args.limit else records
+        if args.json:
+            import json as _json
+
+            for rec in records:
+                print(_json.dumps(rec, sort_keys=True))
+            return 0
+        rows = []
+        for rec in records:
+            metrics = rec.get("metrics") or {}
+            rows.append([
+                str(rec.get("run_id", "?"))[:12], when(rec),
+                rec.get("kind", "?"), rec.get("label", "-"),
+                rec.get("cell") or "-",
+                metrics.get("cycles"),
+                metrics.get("total_dram_bytes"),
+                metrics.get("sim_events_per_sec")
+                or metrics.get("events_per_sec"),
+                "cached" if rec.get("cached") else "",
+                str(rec.get("git_sha") or "-")[:8],
+            ])
+        print(format_table(
+            ["run id", "when", "kind", "label", "cell", "cycles",
+             "DRAM bytes", "events/s", "src", "git"],
+            rows, title=f"run ledger: {ledger.path}"))
+        idx = ledger.index()
+        print(f"{idx['count']} records, {len(idx['cells'])} distinct cells")
+        return 0
+
+    if args.obs_command == "diff":
+        records = {}
+        for name in ("run_a", "run_b"):
+            prefix = getattr(args, name)
+            try:
+                rec = ledger.find(prefix)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+            if rec is None:
+                raise SystemExit(f"error: no ledger record matches "
+                                 f"{prefix!r} in {ledger.path}")
+            records[name] = rec
+        rec_a, rec_b = records["run_a"], records["run_b"]
+        for tag, rec in (("A", rec_a), ("B", rec_b)):
+            print(f"{tag}: {str(rec.get('run_id'))[:12]}  {when(rec)}  "
+                  f"{rec.get('cell') or rec.get('kind')}  "
+                  f"git {str(rec.get('git_sha') or '-')[:8]}  "
+                  f"model v{rec.get('model_version', '?')}"
+                  f"{'  (cached)' if rec.get('cached') else ''}")
+        rows = regress.diff_records(rec_a, rec_b)
+        print(format_table(["metric", "A", "B", "B vs A"], rows))
+        return 0
+
+    if args.obs_command == "regress":
+        baseline_path = args.baseline or regress.default_baseline_path()
+        try:
+            baseline = regress.load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: cannot load baseline "
+                             f"{baseline_path}: {exc}")
+        report = regress.check(
+            ledger.records(), baseline,
+            tolerances=_parse_tolerances(args.tolerance),
+            ignore_model_version=args.ignore_model_version)
+        print(f"baseline: {baseline_path}")
+        print(f"ledger:   {ledger.path}")
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.obs_command == "report":
+        records = ledger.records()
+        if args.limit:
+            records = records[-args.limit:]
+        if not records:
+            raise SystemExit(f"error: no ledger records in {ledger.path}")
+        htmlreport.write_html(records, args.html, title=args.title)
+        print(f"wrote {args.html} ({len(records)} records, "
+              "self-contained HTML)")
+        return 0
+
+    # baseline
+    records = ledger.records()
+    if not any(r.get("kind") == "run" for r in records):
+        raise SystemExit(f"error: no run records in {ledger.path}; "
+                         "run a compare/experiment first")
+    baseline = regress.make_baseline(
+        records, tolerances=_parse_tolerances(args.tolerance) or None)
+    output = args.output or regress.default_baseline_path()
+    regress.save_baseline(baseline, output)
+    print(f"wrote baseline {output}: {len(baseline['cells'])} cells"
+          + (", bench figures" if baseline.get("bench") else "")
+          + f" (model v{baseline['model_version']})")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -524,6 +765,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return _cmd_list()
 
 

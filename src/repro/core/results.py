@@ -10,7 +10,9 @@ from typing import Dict, Optional
 #: counters) — persistent result caches key on it, so a bump
 #: invalidates every stored result.  Pure refactors and new analysis
 #: code do not require a bump.
-MODEL_VERSION = "3"
+#: v4: results gained the ``engine.events`` counter (events executed,
+#: for ledger events/sec accounting).
+MODEL_VERSION = "4"
 
 
 @dataclass
@@ -80,6 +82,18 @@ class RunResult:
         total = hits + misses
         return hits / total if total else None
 
+    @property
+    def events_executed(self) -> int:
+        """Engine events this run executed (0 for pre-v4 results)."""
+        return int(self.stats.get("engine.events", 0))
+
+    @property
+    def events_per_sec(self) -> int:
+        """Host-side engine throughput (0 when unmeasurable)."""
+        if self.host_seconds <= 0:
+            return 0
+        return round(self.events_executed / self.host_seconds)
+
     def l1_hit_rate(self) -> Optional[float]:
         hits = self.stat("l1.hits")
         misses = self.stat("l1.sector_misses") + self.stat("l1.line_misses")
@@ -142,6 +156,29 @@ class RunResult:
             latency=dict(payload.get("latency", {})),
             config_summary=dict(payload.get("config_summary", {})),
         )
+
+    def key_metrics(self) -> Dict[str, float]:
+        """The headline metrics the run ledger and regression sentinel
+        track (see docs/OBSERVABILITY.md for which get relative bands
+        and which are conserved invariants)."""
+        metrics: Dict[str, float] = {
+            "cycles": int(self.cycles),
+            "total_dram_bytes": int(self.total_dram_bytes),
+            "demand_bytes": int(self.demand_bytes),
+            "overhead_bytes": int(self.overhead_bytes),
+        }
+        l1 = self.l1_hit_rate()
+        if l1 is not None:
+            metrics["l1_hit_rate"] = round(l1, 6)
+        l2 = self.l2_hit_rate()
+        if l2 is not None:
+            metrics["l2_hit_rate"] = round(l2, 6)
+        events = self.events_executed
+        if events:
+            metrics["events"] = events
+            if self.host_seconds > 0:
+                metrics["events_per_sec"] = self.events_per_sec
+        return metrics
 
     def summary(self) -> Dict[str, object]:
         """A flat record suitable for table rows."""

@@ -229,12 +229,16 @@ class GpuSystem:
         gpu = self.config.gpu
         latency = (self.obs.latency.breakdown()
                    if self.obs.latency is not None else {})
+        stats = self.stats.flatten()
+        # Engine throughput provenance for the run ledger: events/sec
+        # is events over host_seconds (both carried on the result).
+        stats["engine.events"] = float(self.sim.events_executed)
         return RunResult(
             workload=workload_name,
             scheme=self.config.protection.scheme,
             cycles=cycles,
             traffic=self.traffic(),
-            stats=self.stats.flatten(),
+            stats=stats,
             storage_overhead=self.scheme.storage_overhead(),
             sram_overhead_bytes=self.scheme.sram_overhead_bytes(),
             host_seconds=host_seconds,

@@ -1,0 +1,318 @@
+"""Static HTML run report over the ledger.
+
+``repro obs report --html out.html`` renders the run ledger
+(:mod:`repro.obs.ledger`) into one **self-contained** HTML file: no
+external scripts, stylesheets, fonts or network references of any
+kind — everything is inline CSS and inline SVG, so the artifact can be
+attached to CI, mailed around, or opened from a USB stick years later.
+
+Sections:
+
+* **perf trajectory** — one sparkline per (workload, scheme) cell with
+  at least two records (cycles over run sequence), plus the engine
+  events/sec trajectory from bench records;
+* **scheme comparison** — the latest record per cell, grouped by
+  workload, with performance normalized to the ``none`` scheme when
+  present;
+* **latency stacks** — horizontal stacked bars (data / metadata /
+  queue cycles) for every cell whose latest record carries latency
+  attribution.
+
+Colors are the repo's validated categorical palette (first three
+slots, colorblind-safe in both light and dark mode); dark mode is a
+selected set of steps, not an automatic inversion.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --ink-1: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;  /* data */
+  --series-2: #eb6834;  /* metadata */
+  --series-3: #1baf7a;  /* queue/transit */
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --ink-1: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--ink-1);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 920px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.meta { color: var(--ink-2); font-size: 12px; margin: 0 0 18px; }
+section.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 16px;
+}
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th, td {
+  text-align: right; padding: 5px 10px;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--muted); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+tr:last-child td { border-bottom: none; }
+.spark-row {
+  display: flex; align-items: center; gap: 12px;
+  padding: 6px 0; border-bottom: 1px solid var(--grid);
+}
+.spark-row:last-child { border-bottom: none; }
+.spark-label { flex: 0 0 180px; color: var(--ink-2); font-size: 13px; }
+.spark-vals {
+  flex: 0 0 auto; color: var(--muted); font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}
+.stack {
+  display: flex; height: 18px; border-radius: 4px; overflow: hidden;
+  background: var(--grid); margin: 4px 0 2px;
+}
+.stack span { height: 100%; }
+.stack span + span { border-left: 2px solid var(--surface-1); }
+.seg-data { background: var(--series-1); }
+.seg-metadata { background: var(--series-2); }
+.seg-queue { background: var(--series-3); }
+.legend {
+  display: flex; gap: 16px; font-size: 12px; color: var(--ink-2);
+  margin: 8px 0 2px;
+}
+.legend i {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: -1px;
+}
+.stack-label { font-size: 12px; color: var(--ink-2); margin-top: 10px; }
+.empty { color: var(--muted); font-style: italic; }
+footer { color: var(--muted); font-size: 11px; margin-top: 20px; }
+svg.spark { display: block; }
+svg.spark polyline {
+  fill: none; stroke: var(--series-1); stroke-width: 2;
+  stroke-linecap: round; stroke-linejoin: round;
+}
+svg.spark circle { fill: var(--series-1); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    try:
+        return f"{int(value):,}"
+    except (TypeError, ValueError):
+        return _esc(value)
+
+
+def _sparkline(values: Sequence[float], width: int = 240,
+               height: int = 36) -> str:
+    """An inline SVG sparkline (no axes; endpoints labeled by caller)."""
+    pad = 4
+    n = len(values)
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    points = []
+    for i, v in enumerate(values):
+        x = pad + (width - 2 * pad) * (i / (n - 1) if n > 1 else 0.5)
+        y = height - pad - (height - 2 * pad) * ((v - lo) / span)
+        points.append((round(x, 1), round(y, 1)))
+    pts = " ".join(f"{x},{y}" for x, y in points)
+    lx, ly = points[-1]
+    return (f'<svg class="spark" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="trajectory of {n} runs">'
+            f'<polyline points="{pts}"/>'
+            f'<circle cx="{lx}" cy="{ly}" r="3"/></svg>')
+
+
+def _spark_row(label: str, values: List[float], unit: str = "") -> str:
+    tail = f" {unit}" if unit else ""
+    return ('<div class="spark-row">'
+            f'<div class="spark-label">{_esc(label)}</div>'
+            f'{_sparkline(values)}'
+            f'<div class="spark-vals">{_num(values[0])} &#8594; '
+            f'{_num(values[-1])}{tail} '
+            f'({len(values)} runs)</div></div>')
+
+
+def _cell_series(records: Sequence[Dict[str, Any]]
+                 ) -> Dict[str, List[Dict[str, Any]]]:
+    series: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in records:
+        if rec.get("kind") == "run" and rec.get("cell"):
+            series.setdefault(rec["cell"], []).append(rec)
+    return series
+
+
+def _trajectory_section(records: Sequence[Dict[str, Any]]) -> str:
+    rows: List[str] = []
+    benches = [r for r in records if r.get("kind") == "bench"]
+    for metric, label in (("sim_events_per_sec", "engine (real sim)"),
+                          ("raw_events_per_sec", "engine (raw loop)")):
+        values = [float((b.get("metrics") or {}).get(metric, 0))
+                  for b in benches
+                  if (b.get("metrics") or {}).get(metric) is not None]
+        if len(values) >= 2:
+            rows.append(_spark_row(label, values, "ev/s"))
+    for cell, recs in sorted(_cell_series(records).items()):
+        cycles = [float((r.get("metrics") or {}).get("cycles", 0))
+                  for r in recs
+                  if (r.get("metrics") or {}).get("cycles") is not None]
+        if len(cycles) >= 2:
+            rows.append(_spark_row(cell, cycles, "cycles"))
+    if not rows:
+        rows.append('<p class="empty">fewer than two records per cell '
+                    '&#8212; run more experiments to grow a trajectory</p>')
+    return ('<section class="card"><h2>Performance trajectory</h2>'
+            + "".join(rows) + "</section>")
+
+
+def _comparison_section(records: Sequence[Dict[str, Any]]) -> str:
+    latest: Dict[str, Dict[str, Any]] = {}
+    for cell, recs in _cell_series(records).items():
+        latest[cell] = recs[-1]
+    by_workload: Dict[str, List[Dict[str, Any]]] = {}
+    for rec in latest.values():
+        by_workload.setdefault(rec.get("workload", "?"), []).append(rec)
+    if not by_workload:
+        return ('<section class="card"><h2>Scheme comparison</h2>'
+                '<p class="empty">no run records</p></section>')
+    blocks: List[str] = []
+    for workload in sorted(by_workload):
+        recs = by_workload[workload]
+        base_cycles: Optional[float] = None
+        for rec in recs:
+            if rec.get("scheme") == "none":
+                base_cycles = (rec.get("metrics") or {}).get("cycles")
+        rows = []
+        for rec in sorted(recs, key=lambda r: str(r.get("scheme"))):
+            m = rec.get("metrics") or {}
+            cycles = m.get("cycles")
+            norm = (f"{base_cycles / cycles:.3f}"
+                    if base_cycles and cycles else "-")
+            l2 = m.get("l2_hit_rate")
+            rows.append(
+                "<tr>"
+                f"<td>{_esc(rec.get('scheme'))}</td>"
+                f"<td>{norm}</td>"
+                f"<td>{_num(cycles) if cycles is not None else '-'}</td>"
+                f"<td>{_num(m.get('total_dram_bytes', '-'))}</td>"
+                f"<td>{_num(m.get('overhead_bytes', '-'))}</td>"
+                f"<td>{f'{l2:.3f}' if isinstance(l2, (int, float)) else '-'}"
+                "</td>"
+                f"<td>{'cached' if rec.get('cached') else 'simulated'}</td>"
+                "</tr>")
+        blocks.append(
+            f"<h2>Scheme comparison &#8212; {_esc(workload)}</h2>"
+            "<table><thead><tr><th>scheme</th><th>norm perf</th>"
+            "<th>cycles</th><th>DRAM bytes</th><th>overhead bytes</th>"
+            "<th>L2 hit</th><th>source</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>")
+    return '<section class="card">' + "".join(blocks) + "</section>"
+
+
+def _latency_section(records: Sequence[Dict[str, Any]]) -> str:
+    latest: Dict[str, Dict[str, Any]] = {}
+    for cell, recs in _cell_series(records).items():
+        for rec in recs:
+            if rec.get("latency", {}).get("total_cycles"):
+                latest[cell] = rec
+    header = '<section class="card"><h2>Latency breakdown</h2>'
+    if not latest:
+        return (header + '<p class="empty">no records with latency '
+                "attribution (run the <code>profile</code> subcommand "
+                "or pass <code>attribute_latency=True</code>)</p>"
+                "</section>")
+    legend = ('<div class="legend">'
+              '<span><i class="seg-data"></i>data</span>'
+              '<span><i class="seg-metadata"></i>metadata</span>'
+              '<span><i class="seg-queue"></i>queue/transit</span></div>')
+    bars: List[str] = []
+    for cell in sorted(latest):
+        lat = latest[cell]["latency"]
+        total = float(lat.get("total_cycles") or 0) or 1.0
+        segs = []
+        for key, cls, name in (("data_cycles", "seg-data", "data"),
+                               ("metadata_cycles", "seg-metadata",
+                                "metadata"),
+                               ("queue_cycles", "seg-queue",
+                                "queue/transit")):
+            cycles = float(lat.get(key, 0))
+            share = cycles / total
+            if share <= 0:
+                continue
+            segs.append(
+                f'<span class="{cls}" style="width:{share * 100:.2f}%" '
+                f'title="{name}: {cycles:,.0f} cycles '
+                f'({share:.1%} of total)"></span>')
+        bars.append(
+            f'<div class="stack-label">{_esc(cell)} &#8212; '
+            f'{total:,.0f} attributed cycles over '
+            f'{int(lat.get("requests", 0)):,} requests</div>'
+            f'<div class="stack">{"".join(segs)}</div>')
+    return header + legend + "".join(bars) + "</section>"
+
+
+def render_html(records: Sequence[Dict[str, Any]],
+                title: str = "CacheCraft run report") -> str:
+    """Render ledger records into one self-contained HTML document."""
+    records = list(records)
+    runs = sum(1 for r in records if r.get("kind") == "run")
+    benches = sum(1 for r in records if r.get("kind") == "bench")
+    sha = next((r.get("git_sha") for r in reversed(records)
+                if r.get("git_sha")), None)
+    model = next((r.get("model_version") for r in reversed(records)
+                  if r.get("model_version")), None)
+    meta_bits = [f"{len(records)} records ({runs} runs, {benches} bench)"]
+    if model:
+        meta_bits.append(f"model v{_esc(model)}")
+    if sha:
+        meta_bits.append(f"git {_esc(str(sha)[:12])}")
+    body = (_trajectory_section(records)
+            + _comparison_section(records)
+            + _latency_section(records))
+    return ("<!DOCTYPE html>\n"
+            '<html lang="en"><head><meta charset="utf-8">'
+            f"<title>{_esc(title)}</title>"
+            f"<style>{_CSS}</style></head><body><main>"
+            f"<h1>{_esc(title)}</h1>"
+            f'<p class="meta">{" &#183; ".join(meta_bits)}</p>'
+            + body +
+            "<footer>generated by <code>repro obs report</code> &#8212; "
+            "fully self-contained (inline CSS + SVG, no network "
+            "references)</footer>"
+            "</main></body></html>\n")
+
+
+def write_html(records: Sequence[Dict[str, Any]], path,
+               title: str = "CacheCraft run report") -> None:
+    """Write :func:`render_html` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_html(records, title=title))

@@ -102,7 +102,8 @@ class CampaignRunner:
     def __init__(self, journal_path: str, workers: int = 2,
                  timeout: Optional[float] = None, max_attempts: int = 2,
                  retry_backoff: float = 0.5,
-                 python: Optional[str] = None):
+                 python: Optional[str] = None,
+                 ledger=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_attempts < 1:
@@ -113,6 +114,12 @@ class CampaignRunner:
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.python = python or sys.executable
+        #: Optional cross-run telemetry ledger
+        #: (:class:`repro.obs.ledger.RunLedger`).  Subprocess workers
+        #: cannot write it themselves — the parent appends one record
+        #: per completed cell on result receipt, so campaign cells
+        #: leave the same run-history trail as in-process experiments.
+        self.ledger = ledger
         self._journal_fh = None
 
     # -- journal ---------------------------------------------------------------
@@ -140,6 +147,17 @@ class CampaignRunner:
         self._journal_fh.write(json.dumps(record) + "\n")
         self._journal_fh.flush()
         os.fsync(self._journal_fh.fileno())
+
+    def _ledger_append(self, cell: Dict[str, Any],
+                       result: Dict[str, Any]) -> None:
+        """Cross-run telemetry for one completed cell (parent-side)."""
+        if self.ledger is None:
+            return
+        # Imported lazily: the ledger is optional equipment here.
+        from repro.obs.ledger import record_from_cell
+
+        self.ledger.safe_append(record_from_cell(
+            result, scale=cell.get("scale"), seed=cell.get("seed")))
 
     # -- workers ---------------------------------------------------------------
 
@@ -249,6 +267,7 @@ class CampaignRunner:
                                        "elapsed": elapsed, "result": result})
                         summary.done.append(cell_id)
                         summary.records[cell_id] = result
+                        self._ledger_append(run.cell, result)
                         say(f"done  {cell_id} ({elapsed}s)")
                         continue
                     error = result.get("error", "unknown failure")

@@ -159,3 +159,157 @@ def test_invalid_workload_rejected():
 def test_invalid_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["experiment", "Z9"])
+
+
+# -- compare x observability interplay ---------------------------------------
+
+
+def test_compare_obs_flags_print_cache_notice(tmp_path, capsys):
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03",
+               "--trace-out", str(tmp_path / "cmp.json")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "note: persistent result cache disabled" in out
+
+
+def test_compare_no_cache_silences_notice(tmp_path, capsys):
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache",
+               "--trace-out", str(tmp_path / "cmp.json")])
+    assert rc == 0
+    assert "note: persistent result cache" not in capsys.readouterr().out
+
+
+def test_compare_workers_with_obs_degrades_to_serial(tmp_path, capsys):
+    """--workers must not silently lose --metrics-out: the CLI warns
+    and runs serially so every per-scheme file is still written."""
+    metrics = tmp_path / "cmp.jsonl"
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache",
+               "--workers", "2", "--metrics-out", str(metrics)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "--workers requires unobserved runs" in captured.err
+    per_scheme = sorted(p.name for p in tmp_path.glob("cmp.*.jsonl"))
+    assert "cmp.none.jsonl" in per_scheme
+    assert "cmp.cachecraft.jsonl" in per_scheme
+
+
+# -- the obs subcommand (ledger / sentinel / report) --------------------------
+
+
+@pytest.fixture
+def seeded_ledger(tmp_path):
+    """A ledger holding one full compare sweep."""
+    ledger = str(tmp_path / "ledger.jsonl")
+    assert main(["compare", "-w", "vecadd", "--scale", "0.03",
+                 "--no-cache", "--ledger", ledger]) == 0
+    return ledger
+
+
+def test_compare_appends_to_ledger(seeded_ledger, capsys):
+    capsys.readouterr()
+    assert main(["obs", "history", "--ledger", seeded_ledger]) == 0
+    out = capsys.readouterr().out
+    assert "vecadd/cachecraft" in out
+    assert "cli.compare" in out
+    assert "6 records, 6 distinct cells" in out
+
+
+def test_obs_history_filters_and_json(seeded_ledger, capsys):
+    import json
+
+    capsys.readouterr()
+    assert main(["obs", "history", "--ledger", seeded_ledger,
+                 "--scheme", "none", "--json"]) == 0
+    rows = [json.loads(line)
+            for line in capsys.readouterr().out.splitlines()]
+    assert len(rows) == 1
+    assert rows[0]["cell"] == "vecadd/none"
+
+
+def test_obs_diff(seeded_ledger, capsys):
+    import json
+
+    ids = [json.loads(line)["run_id"]
+           for line in open(seeded_ledger) if line.strip()]
+    capsys.readouterr()
+    assert main(["obs", "diff", ids[0][:8], ids[-1][:8],
+                 "--ledger", seeded_ledger]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "B vs A" in out
+
+
+def test_obs_diff_unknown_id_errors(seeded_ledger):
+    with pytest.raises(SystemExit):
+        main(["obs", "diff", "zzzzzz", "zzzzzz",
+              "--ledger", seeded_ledger])
+
+
+def test_obs_baseline_then_regress_clean_and_sabotaged(
+        seeded_ledger, tmp_path, capsys):
+    import json
+
+    baseline = str(tmp_path / "BASELINE.json")
+    assert main(["obs", "baseline", "--ledger", seeded_ledger,
+                 "-o", baseline]) == 0
+    assert "6 cells" in capsys.readouterr().out
+
+    # Clean rerun against its own baseline: exit 0.
+    assert main(["obs", "regress", "--ledger", seeded_ledger,
+                 "--baseline", baseline]) == 0
+    assert "ok: all metrics within tolerance" in capsys.readouterr().out
+
+    # An injected regression (sabotaged baseline metric): exit 1.
+    doc = json.load(open(baseline))
+    doc["cells"]["vecadd/cachecraft"]["metrics"]["cycles"] = 1
+    json.dump(doc, open(baseline, "w"))
+    assert main(["obs", "regress", "--ledger", seeded_ledger,
+                 "--baseline", baseline]) == 1
+    assert "REGRESSION: 1 breached metric(s)" in capsys.readouterr().out
+
+
+def test_obs_regress_tolerance_override(seeded_ledger, tmp_path, capsys):
+    import json
+
+    baseline = str(tmp_path / "BASELINE.json")
+    main(["obs", "baseline", "--ledger", seeded_ledger, "-o", baseline])
+    doc = json.load(open(baseline))
+    cycles = doc["cells"]["vecadd/cachecraft"]["metrics"]["cycles"]
+    doc["cells"]["vecadd/cachecraft"]["metrics"]["cycles"] = \
+        int(cycles * 0.9)  # current is +11% over baseline
+    json.dump(doc, open(baseline, "w"))
+    capsys.readouterr()
+    assert main(["obs", "regress", "--ledger", seeded_ledger,
+                 "--baseline", baseline]) == 1
+    assert main(["obs", "regress", "--ledger", seeded_ledger,
+                 "--baseline", baseline, "--tolerance", "cycles=0.5"]) == 0
+
+
+def test_obs_regress_bad_tolerance_spec(seeded_ledger):
+    with pytest.raises(SystemExit):
+        main(["obs", "regress", "--ledger", seeded_ledger,
+              "--tolerance", "cycles"])
+
+
+def test_obs_report_html(seeded_ledger, tmp_path, capsys):
+    out_html = tmp_path / "report.html"
+    assert main(["obs", "report", "--ledger", seeded_ledger,
+                 "--html", str(out_html)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    doc = out_html.read_text()
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "vecadd" in doc
+    assert "http://" not in doc.lower() and "https://" not in doc.lower()
+
+
+def test_obs_requires_a_ledger(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_LEDGER", "off")
+    with pytest.raises(SystemExit):
+        main(["obs", "history"])
+
+
+def test_compare_no_ledger_writes_nothing(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03",
+               "--no-cache", "--no-ledger"])
+    assert rc == 0
+    assert not (tmp_path / "ledger.jsonl").exists()

@@ -435,3 +435,41 @@ class TestIntegration:
             assert lat["requests"] > 0, scheme
             assert check_breakdown_sums(lat), scheme
             assert lat["queue_cycles"] >= 0, scheme
+
+
+# -- profile edge cases ------------------------------------------------------
+
+
+class TestProfileEdgeCases:
+    def test_check_breakdown_sums_zero_total_is_vacuously_true(self):
+        assert check_breakdown_sums({}) is True
+        assert check_breakdown_sums({"total_cycles": 0}) is True
+        assert check_breakdown_sums({"total_cycles": 0,
+                                     "data_cycles": 99}) is True
+
+    def test_check_breakdown_sums_detects_mismatch(self):
+        assert check_breakdown_sums({"total_cycles": 100,
+                                     "data_cycles": 50,
+                                     "metadata_cycles": 10,
+                                     "queue_cycles": 10}) is False
+        assert check_breakdown_sums({"total_cycles": 100,
+                                     "data_cycles": 60,
+                                     "metadata_cycles": 30,
+                                     "queue_cycles": 10}) is True
+
+    def test_hottest_components_zero_cycles_is_empty(self):
+        stats = {"dram.busy_cycles": 500, "l2.busy_cycles": 100}
+        assert hottest_components(stats, cycles=0) == []
+        assert hottest_components(stats, cycles=-1) == []
+
+    def test_render_profile_without_latency_says_so(self, small_config,
+                                                    tiny_gen):
+        result = run_workload(make_workload("vecadd"), small_config,
+                              gen_ctx=tiny_gen)  # no latency attribution
+        text = render_profile(result)
+        assert "no attributed requests" in text
+
+    def test_latency_breakdown_rows_zero_requests_no_crash(self):
+        rows = latency_breakdown_rows({"total_cycles": 0, "requests": 0,
+                                       "data_cycles": 0})
+        assert isinstance(rows, list)

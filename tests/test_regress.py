@@ -1,0 +1,279 @@
+"""Tests for the regression sentinel and the HTML run report."""
+
+import json
+
+import pytest
+
+from repro.core.results import MODEL_VERSION
+from repro.obs.htmlreport import render_html, write_html
+from repro.obs.ledger import RunLedger
+from repro.obs.regress import (DEFAULT_TOLERANCES, Delta, check,
+                               diff_records, load_baseline, make_baseline,
+                               metric_spec, save_baseline)
+
+
+def run_record(cell="vecadd/cachecraft", cycles=1000, dram=5000,
+               demand=4000, overhead=1000, scale=0.1, seed=7, **extra):
+    workload, scheme = cell.split("/")
+    rec = {
+        "kind": "run", "cell": cell, "workload": workload,
+        "scheme": scheme, "scale": scale, "seed": seed, "cached": False,
+        "model_version": MODEL_VERSION,
+        "metrics": {"cycles": cycles, "total_dram_bytes": dram,
+                    "demand_bytes": demand, "overhead_bytes": overhead},
+    }
+    rec.update(extra)
+    return rec
+
+
+def bench_record(raw=1_000_000, sim=100_000):
+    return {"kind": "bench", "model_version": MODEL_VERSION,
+            "metrics": {"raw_events_per_sec": raw,
+                        "sim_events_per_sec": sim}}
+
+
+# -- baseline seeding ---------------------------------------------------------
+
+
+class TestMakeBaseline:
+    def test_latest_record_per_cell_wins(self):
+        records = [run_record(cycles=1000), run_record(cycles=1200)]
+        baseline = make_baseline(records)
+        cell = baseline["cells"]["vecadd/cachecraft"]
+        assert cell["metrics"]["cycles"] == 1200
+        assert cell["scale"] == 0.1 and cell["seed"] == 7
+        assert baseline["model_version"] == MODEL_VERSION
+
+    def test_host_noise_metrics_excluded_from_cells(self):
+        rec = run_record()
+        rec["metrics"].update(events=5000, events_per_sec=123456,
+                              host_seconds=0.5)
+        cells = make_baseline([rec])["cells"]
+        metrics = cells["vecadd/cachecraft"]["metrics"]
+        assert "events" not in metrics
+        assert "events_per_sec" not in metrics
+        assert metrics["cycles"] == 1000
+
+    def test_bench_section_from_latest_bench(self):
+        baseline = make_baseline([bench_record(raw=1), bench_record(raw=9)])
+        assert baseline["bench"]["raw_events_per_sec"] == 9
+
+    def test_round_trips_through_disk(self, tmp_path):
+        baseline = make_baseline([run_record()], tolerances={"cycles": 0.2})
+        path = tmp_path / "BASELINE.json"
+        save_baseline(baseline, path)
+        assert load_baseline(path) == baseline
+
+    def test_load_rejects_non_baseline_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="cells"):
+            load_baseline(path)
+
+
+# -- tolerance semantics ------------------------------------------------------
+
+
+class TestCheck:
+    def test_identical_metrics_pass(self):
+        records = [run_record(), bench_record()]
+        baseline = make_baseline(records)
+        report = check(records, baseline)
+        assert report.ok
+        assert all(row.status == "ok" for row in report.rows)
+        assert "ok: all metrics within tolerance" in report.render()
+
+    def test_exact_metric_breaches_on_any_drift(self):
+        baseline = make_baseline([run_record(dram=5000)])
+        report = check([run_record(dram=5001)], baseline)
+        breached = {row.metric for row in report.breaches}
+        assert "total_dram_bytes" in breached
+        assert not report.ok
+
+    def test_relative_band_tolerates_small_drift(self):
+        baseline = make_baseline([run_record(cycles=1000)])
+        report = check([run_record(cycles=1040)], baseline)  # +4% < 5%
+        cycles_row = [r for r in report.rows if r.metric == "cycles"][0]
+        assert cycles_row.status == "ok"
+
+    def test_lower_is_better_breaches_upward(self):
+        baseline = make_baseline([run_record(cycles=1000)])
+        report = check([run_record(cycles=1100)], baseline)  # +10% > 5%
+        cycles_row = [r for r in report.rows if r.metric == "cycles"][0]
+        assert cycles_row.status == "regressed"
+        assert not report.ok
+        assert "REGRESSION: 1 breached metric(s)" in report.render()
+
+    def test_improvement_never_fails(self):
+        baseline = make_baseline([run_record(cycles=1000)])
+        report = check([run_record(cycles=700)], baseline)  # -30%: faster
+        cycles_row = [r for r in report.rows if r.metric == "cycles"][0]
+        assert cycles_row.status == "improved"
+        assert report.ok
+
+    def test_higher_is_better_breaches_downward(self):
+        baseline = make_baseline([bench_record(sim=100_000)])
+        report = check([bench_record(sim=10_000)], baseline)  # -90% > 75%
+        sim_row = [r for r in report.rows
+                   if r.metric == "sim_events_per_sec"][0]
+        assert sim_row.status == "regressed"
+
+    def test_tolerance_override_widens_band(self):
+        baseline = make_baseline([run_record(cycles=1000)])
+        report = check([run_record(cycles=1100)], baseline,
+                       tolerances={"cycles": 0.25})
+        assert report.ok
+
+    def test_baseline_stored_tolerances_apply(self):
+        baseline = make_baseline([run_record(cycles=1000)],
+                                 tolerances={"cycles": 0.25})
+        assert check([run_record(cycles=1100)], baseline).ok
+
+    def test_missing_cell_breaches(self):
+        baseline = make_baseline([run_record()])
+        report = check([], baseline)
+        assert not report.ok
+        assert all(row.status == "missing" for row in report.rows)
+        assert any("no ledger record matches" in n for n in report.notes)
+
+    def test_mismatched_scale_does_not_match(self):
+        baseline = make_baseline([run_record(scale=0.1)])
+        report = check([run_record(scale=0.3, cycles=1)], baseline)
+        assert all(row.status == "missing" for row in report.rows)
+
+    def test_model_version_mismatch_is_stale_breach(self):
+        baseline = make_baseline([run_record()])
+        baseline["model_version"] = "0-ancient"
+        report = check([run_record()], baseline)
+        assert not report.ok
+        assert report.rows[0].status == "stale"
+        assert any("re-seed" in n for n in report.notes)
+
+    def test_model_version_mismatch_can_be_ignored(self):
+        baseline = make_baseline([run_record()])
+        baseline["model_version"] = "0-ancient"
+        report = check([run_record()], baseline,
+                       ignore_model_version=True)
+        assert report.ok
+        assert any("ignored" in n for n in report.notes)
+
+    def test_latest_record_wins_over_older_ones(self):
+        baseline = make_baseline([run_record(cycles=1000)])
+        report = check([run_record(cycles=9999),
+                        run_record(cycles=1000)], baseline)
+        assert report.ok
+
+
+class TestDeltaAndSpecs:
+    def test_every_default_metric_has_direction(self):
+        for metric in DEFAULT_TOLERANCES:
+            direction, tol = metric_spec(metric)
+            assert direction in ("lower", "higher", "exact")
+            assert tol >= 0
+
+    def test_unknown_metric_defaults_conservative(self):
+        assert metric_spec("mystery") == ("lower", 0.05)
+
+    def test_change_handles_zero_baseline(self):
+        assert Delta("c", "m", 0, 5, "ok").change is None
+        assert Delta("c", "m", 100, 110, "ok").change == pytest.approx(0.1)
+
+    def test_diff_records_rows(self):
+        rows = diff_records(run_record(cycles=100),
+                            run_record(cycles=150))
+        by_metric = {row[0]: row for row in rows}
+        assert by_metric["cycles"][1:3] == [100, 150]
+        assert by_metric["cycles"][3] == "+50.00%"
+
+
+# -- end-to-end through a ledger ---------------------------------------------
+
+
+class TestSentinelOverLedger:
+    def test_clean_rerun_passes_and_sabotage_breaches(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        for rec in (run_record(cycles=1000), bench_record()):
+            ledger.append(rec)
+        baseline = make_baseline(ledger.records())
+        path = tmp_path / "BASELINE.json"
+        save_baseline(baseline, path)
+
+        assert check(ledger.records(), load_baseline(path)).ok
+
+        sabotaged = json.loads(path.read_text())
+        sabotaged["cells"]["vecadd/cachecraft"]["metrics"]["cycles"] = 10
+        path.write_text(json.dumps(sabotaged))
+        report = check(ledger.records(), load_baseline(path))
+        assert not report.ok
+        assert [r.metric for r in report.breaches] == ["cycles"]
+
+
+# -- the HTML report ----------------------------------------------------------
+
+
+LATENCY = {"data_cycles": 600, "metadata_cycles": 300, "queue_cycles": 100,
+           "total_cycles": 1000, "requests": 50}
+
+
+class TestHtmlReport:
+    def multi_run_records(self):
+        return [
+            run_record(cycles=1000, latency=LATENCY),
+            run_record(cycles=1100, latency=LATENCY),
+            run_record(cell="vecadd/none", cycles=900, overhead=0),
+            bench_record(sim=90_000), bench_record(sim=110_000),
+        ]
+
+    def test_report_is_self_contained(self):
+        doc = render_html(self.multi_run_records())
+        lowered = doc.lower()
+        assert "http://" not in lowered and "https://" not in lowered
+        assert "<script src" not in lowered
+        assert "@import" not in lowered
+        assert 'rel="stylesheet"' not in lowered
+        assert "<style>" in doc and "<svg" in doc
+
+    def test_covers_multiple_runs_with_sparkline(self):
+        doc = render_html(self.multi_run_records())
+        assert 'class="spark"' in doc          # >= 2 runs: trajectory drawn
+        assert "vecadd/cachecraft" in doc
+        assert "(2 runs)" in doc
+
+    def test_comparison_table_normalizes_to_none(self):
+        doc = render_html(self.multi_run_records())
+        assert "Scheme comparison" in doc and "vecadd" in doc
+        # none at 900 vs cachecraft at 1100 -> 0.818 normalized perf
+        assert "0.818" in doc
+
+    def test_latency_stack_rendered_with_tooltips(self):
+        doc = render_html(self.multi_run_records())
+        assert 'class="stack"' in doc
+        assert "seg-data" in doc and "seg-metadata" in doc
+        assert 'title="data: 600 cycles (60.0% of total)"' in doc
+
+    def test_empty_states_do_not_crash(self):
+        doc = render_html([run_record()])  # one run: no trajectory
+        assert "fewer than two records" in doc
+        assert "no records with latency" in doc
+        doc = render_html([])
+        assert "no run records" in doc
+
+    def test_dark_mode_is_selected_not_inverted(self):
+        doc = render_html([])
+        assert "prefers-color-scheme: dark" in doc
+        assert "#2a78d6" in doc and "#3987e5" in doc  # distinct steps
+
+    def test_titles_and_cells_are_escaped(self):
+        rec = run_record(cell="a/<script>", cycles=5)
+        rec["workload"], rec["scheme"] = "a", "<script>"
+        doc = render_html([rec], title="<img src=x>")
+        assert "<script>" not in doc.replace("</script>", "")
+        assert "&lt;script&gt;" in doc
+        assert "&lt;img src=x&gt;" in doc
+
+    def test_write_html(self, tmp_path):
+        out = tmp_path / "report.html"
+        write_html(self.multi_run_records(), out)
+        doc = out.read_text()
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.rstrip().endswith("</html>")
