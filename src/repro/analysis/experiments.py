@@ -236,8 +236,16 @@ def f1_performance(harness: Optional[ExperimentHarness] = None,
 def f2_traffic(harness: Optional[ExperimentHarness] = None,
                workloads: Sequence[str] = WORKLOADS,
                schemes: Sequence[str] = FIGURE_SCHEMES) -> ExperimentOutput:
-    """F2: DRAM traffic breakdown, normalized to unprotected demand."""
-    h = harness or ExperimentHarness()
+    """F2: DRAM traffic breakdown, normalized to unprotected demand.
+
+    Traffic-only, so the default harness runs the functional fidelity
+    tier at a fraction of the wall time.  Byte counters follow the
+    parity contract of docs/MODEL.md — bit-for-bit on serialized
+    streams; on this concurrent default shape, reuse-sensitive cells
+    can drift a fraction of a percent with warp interleave (streaming
+    cells are identical).
+    """
+    h = harness or ExperimentHarness(fidelity="functional")
     grid = h.matrix(workloads, schemes)
     kinds = ("data", "metadata", "verify_fill", "writeback", "metadata_write")
     data: Dict[str, Dict[str, Dict[str, float]]] = {}

@@ -16,7 +16,7 @@ from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple, Union)
 
 from repro.analysis.result_cache import ResultCache
-from repro.core.config import ALL_SCHEMES, SystemConfig
+from repro.core.config import ALL_SCHEMES, FIDELITIES, SystemConfig
 from repro.core.results import RunResult
 from repro.core.system import run_workload
 from repro.obs.ledger import RunLedger, record_from_result, resolve_ledger
@@ -62,10 +62,21 @@ class ExperimentHarness:
                                   ResultCache] = None,
                  ledger: Union[None, bool, str, os.PathLike,
                                RunLedger] = None,
-                 ledger_label: str = "harness"):
+                 ledger_label: str = "harness",
+                 fidelity: str = "event"):
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; known: {FIDELITIES}")
         self.config = config or bench_config()
         self.scale = scale
         self.seed = seed
+        #: Simulation tier for every cell this harness runs:
+        #: ``"event"`` (timed) or ``"functional"`` (counters only, much
+        #: faster — see :mod:`repro.sim.functional`).  Counter parity
+        #: between the tiers is exact, so traffic-only analyses can use
+        #: ``"functional"`` freely; anything reading ``cycles`` or
+        #: latency needs ``"event"``.
+        self.fidelity = fidelity
         self.workload_params = workload_params or {}
         #: Optional ``(workload, scheme) -> Observability`` hook; each
         #: uncached run gets its own hub (hubs bind to one system).
@@ -100,6 +111,10 @@ class ExperimentHarness:
 
     def _gen_ctx(self, config: SystemConfig) -> GenContext:
         return bench_gen_ctx(config, scale=self.scale, seed=self.seed)
+
+    def _apply_fidelity(self, cfg: SystemConfig) -> SystemConfig:
+        return cfg if cfg.fidelity == self.fidelity \
+            else cfg.with_fidelity(self.fidelity)
 
     def _build_workload(self, name: str) -> Workload:
         return make_workload(name, **self.workload_params.get(name, {}))
@@ -148,8 +163,9 @@ class ExperimentHarness:
             config: Optional[SystemConfig] = None, **protection_overrides
             ) -> RunResult:
         """Run (or fetch from cache) one simulation."""
-        cfg = (config or self.config).with_scheme(scheme,
-                                                  **protection_overrides)
+        cfg = self._apply_fidelity(
+            (config or self.config).with_scheme(scheme,
+                                                **protection_overrides))
         key = self._mem_key(workload, cfg)
         cached = self._cache.get(key)
         if cached is not None:
@@ -192,6 +208,11 @@ class ExperimentHarness:
         # Imported lazily: campaign pulls in subprocess machinery that
         # in-process experiments never need.
         from repro.resilience.campaign import CampaignRunner, build_cells
+
+        if self.fidelity != "event":
+            raise ValueError(
+                "run_campaign needs fidelity='event': campaigns exist to "
+                "exercise fault injection/recovery, which is timed")
 
         cells = build_cells(
             workloads, schemes, scale=self.scale, seed=self.seed,
@@ -260,7 +281,8 @@ class ExperimentHarness:
         todo: List[Tuple[str, str, SystemConfig, Tuple]] = []
         for wl in workloads:
             for sc in schemes:
-                cfg = (config or self.config).with_scheme(sc)
+                cfg = self._apply_fidelity(
+                    (config or self.config).with_scheme(sc))
                 key = self._mem_key(wl, cfg)
                 cached = self._cache.get(key)
                 if cached is None:
@@ -329,7 +351,8 @@ def compare_schemes(workload: str,
                                      ResultCache] = None,
                     harness: Optional[ExperimentHarness] = None,
                     ledger: Union[None, bool, str, os.PathLike,
-                                  RunLedger] = None
+                                  RunLedger] = None,
+                    fidelity: str = "event"
                     ) -> List[dict]:
     """One-call scheme comparison for a single workload.
 
@@ -340,19 +363,25 @@ def compare_schemes(workload: str,
     ``cache_dir`` enable parallel execution and persistent result reuse
     (see :class:`ExperimentHarness`); pass a prebuilt ``harness`` to
     inspect its cache counters afterwards.
+
+    ``fidelity="functional"`` runs the traffic-only tier: byte counters
+    are identical to event mode, but there is no timing, so
+    ``norm_perf`` is ``None`` and ``cycles`` is 0 in every row.
     """
     if harness is None:
         harness = ExperimentHarness(config=config, scale=scale, seed=seed,
                                     obs_factory=obs_factory,
-                                    cache_dir=cache_dir, ledger=ledger)
+                                    cache_dir=cache_dir, ledger=ledger,
+                                    fidelity=fidelity)
     grid = harness.matrix([workload], schemes, workers=workers)
     results = [grid[workload][scheme] for scheme in schemes]
     base = results[0]
+    timed = all(r.fidelity == "event" for r in results)
     rows = []
     for result in results:
         rows.append({
             "scheme": result.scheme,
-            "norm_perf": result.performance_vs(base),
+            "norm_perf": result.performance_vs(base) if timed else None,
             "cycles": result.cycles,
             "dram_bytes": result.total_dram_bytes,
             "overhead_bytes": result.overhead_bytes,

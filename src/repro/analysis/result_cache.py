@@ -74,12 +74,22 @@ def _canonical(obj: Any) -> Any:
 def cache_key(workload: str, config: SystemConfig, scale: float, seed: int,
               workload_params: Optional[Dict[str, Any]] = None) -> str:
     """Stable content hash for one simulation cell."""
+    cfg = _canonical(config)
+    # Back-compat pruning: fields later added to SystemConfig/GpuConfig
+    # are dropped from the payload at their default values, so every
+    # event-mode key minted before they existed still addresses the
+    # same entry.  Non-default values (functional fidelity, blocking
+    # stores) participate normally and get distinct keys.
+    if cfg.get("fidelity") == "event":
+        del cfg["fidelity"]
+    if cfg.get("gpu", {}).get("blocking_stores") is False:
+        del cfg["gpu"]["blocking_stores"]
     payload = {
         "format": CACHE_FORMAT,
         "model_version": MODEL_VERSION,
         "workload": workload,
         "workload_params": _canonical(workload_params or {}),
-        "config": _canonical(config),
+        "config": cfg,
         "scale": scale,
         "seed": seed,
     }
@@ -170,23 +180,39 @@ class ResultCache:
                 yield from sorted(sub.glob("*.json"))
 
     def stats(self) -> Dict[str, Any]:
-        """``{dir, entries, bytes, current_model_entries}`` for the
-        ``cache stats`` CLI subcommand."""
+        """``{dir, entries, bytes, current_model_entries,
+        by_model_version}`` for the ``cache stats`` CLI subcommand.
+
+        ``by_model_version`` maps each model version found on disk to
+        its ``{entries, bytes}`` footprint, so stale generations (and
+        what ``cache clear --stale`` would reclaim) are visible at a
+        glance.  Unreadable entries are bucketed under ``"?"``.
+        """
         entries = 0
         nbytes = 0
         current = 0
+        by_version: Dict[str, Dict[str, int]] = {}
         for path in self._entries():
             entries += 1
+            version = "?"
+            size = 0
             try:
-                nbytes += path.stat().st_size
+                size = path.stat().st_size
+                nbytes += size
                 with path.open() as fh:
-                    if json.load(fh).get("model_version") == MODEL_VERSION:
-                        current += 1
+                    version = str(json.load(fh).get("model_version"))
             except (OSError, ValueError):
-                continue
+                pass
+            if version == MODEL_VERSION:
+                current += 1
+            bucket = by_version.setdefault(version,
+                                           {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
         return {"dir": str(self.dir), "entries": entries, "bytes": nbytes,
                 "current_model_entries": current,
-                "model_version": MODEL_VERSION}
+                "model_version": MODEL_VERSION,
+                "by_model_version": by_version}
 
     def clear(self, stale_only: bool = False) -> int:
         """Delete entries (all, or only those from other model

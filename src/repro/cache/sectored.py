@@ -247,7 +247,11 @@ class SectoredCache:
                        else range(self.metadata_ways, self.ways))
         else:
             allowed = range(self.ways)
-        way = next((w for w in allowed if ways[w].line_addr < 0), None)
+        way = None
+        for w in allowed:
+            if ways[w].line_addr < 0:
+                way = w
+                break
         evicted: Optional[Eviction] = None
         if way is None:
             way = (policy.victim_among(list(allowed)) if self.metadata_ways
@@ -283,6 +287,18 @@ class SectoredCache:
             line.verified_mask |= bit
         else:
             line.verified_mask &= ~bit
+
+    def fill_sectors(self, line: CacheLine, mask: int, *,
+                     dirty: bool = False, verified: bool = True) -> None:
+        """Batched :meth:`fill_sector` over a whole sector mask."""
+        line.valid_mask |= mask
+        line.poisoned_mask &= ~mask
+        if dirty:
+            line.dirty_mask |= mask
+        if verified:
+            line.verified_mask |= mask
+        else:
+            line.verified_mask &= ~mask
 
     def mark_verified(self, line_addr: int, sector_mask: int) -> None:
         """Flip sectors to verified once their granule check completes."""

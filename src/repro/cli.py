@@ -34,7 +34,7 @@ from repro.analysis.experiments import EXPERIMENTS
 from repro.analysis.harness import bench_config, bench_gen_ctx, compare_schemes
 from repro.analysis.result_cache import ResultCache, default_cache_dir
 from repro.analysis.tables import format_table
-from repro.core.config import ALL_SCHEMES
+from repro.core.config import ALL_SCHEMES, FIDELITIES
 from repro.core.system import run_workload
 from repro.obs.hub import Observability, make_observability
 from repro.workloads import WORKLOADS, make_workload
@@ -80,6 +80,25 @@ def _ledger_from_args(args: argparse.Namespace, required: bool = False):
         raise SystemExit("error: the run ledger is disabled "
                          "(REPRO_LEDGER=off); pass --ledger FILE")
     return ledger
+
+
+def _reject_timed_flags(args: argparse.Namespace) -> None:
+    """Fail fast when a counters-only run is asked for timing output.
+
+    The functional tier has no cycle clock, so a trace or metrics
+    time-series would be silently empty — refuse up front with the fix
+    spelled out instead of writing a useless file.
+    """
+    if getattr(args, "fidelity", "event") == "event":
+        return
+    offending = [flag for flag, value in (("--trace-out", args.trace_out),
+                                          ("--metrics-out", args.metrics_out))
+                 if value]
+    if offending:
+        raise SystemExit(
+            f"error: {', '.join(offending)} need(s) event timing, but "
+            "--fidelity functional produces none; drop the flag(s) or "
+            "rerun with --fidelity event")
 
 
 def _make_obs(args: argparse.Namespace,
@@ -139,6 +158,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--code", default="secded")
     run_p.add_argument("--functional", action="store_true",
                        help="run real ECC decode over a functional store")
+    run_p.add_argument("--fidelity", choices=FIDELITIES, default="event",
+                       help="simulation tier: 'event' (timed) or "
+                            "'functional' (counters only, much faster; "
+                            "no cycles/latency)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON")
     _add_obs_args(run_p)
@@ -165,6 +188,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     cmp_p.add_argument("--no-cache", action="store_true",
                        help="do not read or write the persistent cache")
+    cmp_p.add_argument("--fidelity", choices=FIDELITIES, default="event",
+                       help="simulation tier: 'event' (timed) or "
+                            "'functional' (byte counters only; norm perf "
+                            "and cycles are not reported)")
     _add_obs_args(cmp_p)
     _add_ledger_args(cmp_p)
 
@@ -324,9 +351,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _reject_timed_flags(args)
     config = bench_config(l2_size_kb=args.l2_kb).with_protection(
         scheme=args.scheme, granule_bytes=args.granule,
         code_name=args.code, functional=args.functional)
+    if args.fidelity != "event":
+        config = config.with_fidelity(args.fidelity)
     gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
     obs = _make_obs(args)
     result = run_workload(make_workload(args.workload), config,
@@ -343,7 +373,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.to_json())
         return 0
     print(f"workload={result.workload} scheme={result.scheme}")
-    print(f"cycles={result.cycles}")
+    if result.fidelity == "event":
+        print(f"cycles={result.cycles}")
+    else:
+        print(f"fidelity={result.fidelity} (counters only; no "
+              "cycles/latency)")
     print(f"dram_bytes={result.total_dram_bytes} "
           f"(overhead {result.overhead_bytes})")
     rows = [[k, v] for k, v in sorted(result.traffic.items()) if v]
@@ -352,14 +386,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     l2 = result.l2_hit_rate()
     print(f"l1_hit_rate={l1:.3f} l2_hit_rate={l2:.3f}"
           if l1 is not None and l2 is not None else "")
-    from repro.analysis.bottleneck import analyze
+    if result.fidelity == "event":
+        from repro.analysis.bottleneck import analyze
 
-    report = analyze(result, config)
-    print(f"bottleneck={report.classification} "
-          f"(bus {report.peak_bus_utilization:.0%}, "
-          f"latency x{report.latency_multiple:.1f})")
-    for note in report.notes:
-        print(f"  note: {note}")
+        report = analyze(result, config)
+        print(f"bottleneck={report.classification} "
+              f"(bus {report.peak_bus_utilization:.0%}, "
+              f"latency x{report.latency_multiple:.1f})")
+        for note in report.notes:
+            print(f"  note: {note}")
     print(f"host_seconds={result.host_seconds:.2f}")
     return 0
 
@@ -367,6 +402,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.harness import ExperimentHarness
 
+    _reject_timed_flags(args)
     observers = {}
     obs_factory = None
     if args.trace_out or args.metrics_out:
@@ -398,15 +434,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                                 obs_factory=obs_factory,
                                 cache_dir=cache_dir,
                                 ledger=_ledger_from_args(args) or False,
-                                ledger_label="cli.compare")
+                                ledger_label="cli.compare",
+                                fidelity=args.fidelity)
     rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed,
                            obs_factory=obs_factory, workers=workers,
-                           harness=harness)
-    table = [[r["scheme"], r["norm_perf"], r["cycles"], r["dram_bytes"],
-              r["overhead_bytes"]] for r in rows]
+                           harness=harness, fidelity=args.fidelity)
+    timed = args.fidelity == "event"
+    table = [[r["scheme"],
+              r["norm_perf"] if timed else "-",
+              r["cycles"] if timed else "-",
+              r["dram_bytes"], r["overhead_bytes"]] for r in rows]
+    title = f"scheme comparison: {args.workload}"
+    if not timed:
+        title += " (functional: traffic only)"
     print(format_table(
         ["scheme", "norm perf", "cycles", "DRAM bytes", "overhead bytes"],
-        table, title=f"scheme comparison: {args.workload}"))
+        table, title=title))
     if harness.result_cache is not None:
         print(f"{harness.sims_run} simulated, "
               f"{harness.result_cache.hits} from cache "
@@ -431,10 +474,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"({stats['bytes']} bytes on disk)")
         print(f"current model (v{stats['model_version']}): "
               f"{stats['current_model_entries']} entries")
+        for version, bucket in sorted(stats["by_model_version"].items()):
+            tag = " (current)" if version == stats["model_version"] else ""
+            print(f"  model v{version}: {bucket['entries']} entries, "
+                  f"{bucket['bytes']} bytes{tag}")
         stale = stats["entries"] - stats["current_model_entries"]
         if stale:
             print(f"stale entries: {stale} "
                   "(run `cache clear --stale-only` to drop them)")
+        from repro.workloads.base import trace_cache_stats
+
+        memo = trace_cache_stats()
+        print(f"trace memo (this process): {memo['entries']} entries "
+              f"(cap {memo['capacity']}), {memo['hits']} hits, "
+              f"{memo['misses']} misses")
         return 0
     removed = cache.clear(stale_only=args.stale_only)
     what = "stale entries" if args.stale_only else "entries"

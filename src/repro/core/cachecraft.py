@@ -151,6 +151,10 @@ class CacheCraft(ProtectionScheme):
     def _on_bind(self) -> None:
         assert self.ctx is not None and self.stats is not None
         slices = len(self.ctx.channels)
+        # Pure-geometry memos (layout is fixed once bound; these sit on
+        # every fetch/writeback and recompute identical answers).
+        self._glines_memo: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._granules_memo: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._crafts: List[Dict[int, _CraftEntry]] = [dict() for _ in range(slices)]
         self._overflow: List[Deque[tuple]] = [deque() for _ in range(slices)]
         # Contribution directory: per-slice LRU of granule -> sector
@@ -208,7 +212,12 @@ class CacheCraft(ProtectionScheme):
 
     # -- geometry helpers --------------------------------------------------------
 
-    def _granules_of(self, line_addr: int, sector_mask: int) -> List[int]:
+    def _granules_of(self, line_addr: int,
+                     sector_mask: int) -> Tuple[int, ...]:
+        memo = self._granules_memo
+        cached = memo.get((line_addr, sector_mask))
+        if cached is not None:
+            return cached
         ctx = self.ctx
         assert ctx is not None
         base = line_addr * ctx.line_bytes
@@ -218,15 +227,22 @@ class CacheCraft(ProtectionScheme):
                 granule = ctx.layout.granule_of(base + s * ctx.sector_bytes)
                 if granule not in seen:
                     seen.append(granule)
-        return seen
+        result = tuple(seen)
+        memo[(line_addr, sector_mask)] = result
+        return result
 
-    def _granule_lines(self, granule: int):
-        """Yield ``(line_addr, sector_mask)`` tiles covering the granule."""
+    def _granule_lines(self, granule: int) -> Tuple[Tuple[int, int], ...]:
+        """``(line_addr, sector_mask)`` tiles covering the granule."""
+        memo = self._glines_memo
+        cached = memo.get(granule)
+        if cached is not None:
+            return cached
         ctx = self.ctx
         assert ctx is not None
         base = ctx.layout.granule_base(granule)
         end = base + ctx.layout.granule_bytes
         addr = base
+        tiles: List[Tuple[int, int]] = []
         while addr < end:
             line_addr = addr // ctx.line_bytes
             line_base = line_addr * ctx.line_bytes
@@ -234,7 +250,10 @@ class CacheCraft(ProtectionScheme):
             while addr < end and addr // ctx.line_bytes == line_addr:
                 mask |= 1 << ((addr - line_base) // ctx.sector_bytes)
                 addr += ctx.sector_bytes
-            yield line_addr, mask
+            tiles.append((line_addr, mask))
+        result = tuple(tiles)
+        memo[granule] = result
+        return result
 
     def _line_portion(self, granule: int, line_addr: int) -> int:
         for g_line, g_mask in self._granule_lines(granule):

@@ -55,6 +55,12 @@ class GpuConfig:
 
     dram: DramTiming = field(default_factory=DramTiming)
     ecc_check_latency: int = 4
+    #: Warps wait for store/atomic acknowledgments before issuing their
+    #: next op (default: stores are fire-and-forget through the store
+    #: buffer).  With one warp per SM and one lane this serializes the
+    #: memory stream completely, which is what makes functional-fidelity
+    #: counter parity exact (docs/PERFORMANCE.md "Fidelity tiers").
+    blocking_stores: bool = False
 
     def __post_init__(self) -> None:
         if self.warp_scheduler not in ("rr", "gto"):
@@ -139,6 +145,10 @@ class ResilienceConfig:
     inject_interval: int = 500
 
 
+#: Simulation fidelity tiers (see docs/PERFORMANCE.md).
+FIDELITIES = ("event", "functional")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything a run needs."""
@@ -152,6 +162,21 @@ class SystemConfig:
     #: so writeback costs are fully accounted.
     flush_at_end: bool = True
     seed: int = 42
+    #: Simulation tier: "event" runs the discrete-event timing model;
+    #: "functional" replays the same traces through the same cache /
+    #: MSHR / protection state machines with no cycle clock — traffic
+    #: and hit/miss counters only, much faster (docs/PERFORMANCE.md).
+    fidelity: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITIES}, "
+                f"got {self.fidelity!r}")
+
+    def with_fidelity(self, fidelity: str) -> "SystemConfig":
+        """Same system, different simulation tier."""
+        return replace(self, fidelity=fidelity)
 
     def with_scheme(self, scheme: str, **overrides) -> "SystemConfig":
         """Convenience: same machine, different protection scheme."""
@@ -184,7 +209,12 @@ PROTECTED_SCHEMES = ALL_SCHEMES[1:]
 
 
 def test_config(**gpu_overrides) -> SystemConfig:
-    """A small, fast configuration for unit/integration tests."""
-    gpu = GpuConfig(num_sms=2, warps_per_sm=4, l2_size_kb=256, num_slices=2,
-                    l1_size_kb=16, **gpu_overrides)
-    return SystemConfig(gpu=gpu)
+    """A small, fast configuration for unit/integration tests.
+
+    Overrides win over the small-machine defaults (so e.g.
+    ``test_config(num_sms=1)`` is valid).
+    """
+    shape: Dict[str, Any] = dict(num_sms=2, warps_per_sm=4, l2_size_kb=256,
+                                 num_slices=2, l1_size_kb=16)
+    shape.update(gpu_overrides)
+    return SystemConfig(gpu=GpuConfig(**shape))

@@ -37,6 +37,12 @@ class RunResult:
     #: :meth:`repro.obs.latency.LatencyAttributor.breakdown`).
     latency: Dict[str, float] = field(default_factory=dict)
     config_summary: Dict[str, object] = field(default_factory=dict)
+    #: Simulation tier that produced this result.  ``"functional"``
+    #: results carry exact traffic / hit-miss / writeback / metadata
+    #: counters but **no timing**: ``cycles`` is 0, latency is empty
+    #: and timing-only stats are absent (see docs/PERFORMANCE.md
+    #: "Fidelity tiers").
+    fidelity: str = "event"
 
     # -- derived metrics ------------------------------------------------------
 
@@ -64,6 +70,10 @@ class RunResult:
         if self.workload != baseline.workload:
             raise ValueError(
                 f"comparing {self.workload} against {baseline.workload}")
+        if self.fidelity != "event" or baseline.fidelity != "event":
+            raise ValueError(
+                "normalized performance needs timing; functional-fidelity "
+                "results have none (rerun with fidelity='event')")
         return baseline.cycles / self.cycles if self.cycles else 0.0
 
     def stat(self, suffix: str, default: float = 0.0) -> float:
@@ -108,6 +118,7 @@ class RunResult:
         payload: Dict[str, object] = {
             "workload": self.workload,
             "scheme": self.scheme,
+            "fidelity": self.fidelity,
             "cycles": self.cycles,
             "traffic": self.traffic,
             "storage_overhead": self.storage_overhead,
@@ -139,6 +150,7 @@ class RunResult:
             "host_seconds": self.host_seconds,
             "latency": dict(self.latency),
             "config_summary": dict(self.config_summary),
+            "fidelity": self.fidelity,
         }
 
     @classmethod
@@ -155,6 +167,7 @@ class RunResult:
             host_seconds=payload.get("host_seconds", 0.0),
             latency=dict(payload.get("latency", {})),
             config_summary=dict(payload.get("config_summary", {})),
+            fidelity=payload.get("fidelity", "event"),
         )
 
     def key_metrics(self) -> Dict[str, float]:
@@ -162,11 +175,14 @@ class RunResult:
         track (see docs/OBSERVABILITY.md for which get relative bands
         and which are conserved invariants)."""
         metrics: Dict[str, float] = {
-            "cycles": int(self.cycles),
             "total_dram_bytes": int(self.total_dram_bytes),
             "demand_bytes": int(self.demand_bytes),
             "overhead_bytes": int(self.overhead_bytes),
         }
+        if self.fidelity == "event":
+            # Functional-tier runs have no clock; a constant cycles=0
+            # would be a meaningless (and band-breaking) "metric".
+            metrics["cycles"] = int(self.cycles)
         l1 = self.l1_hit_rate()
         if l1 is not None:
             metrics["l1_hit_rate"] = round(l1, 6)

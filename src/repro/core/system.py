@@ -24,8 +24,10 @@ from repro.protection.base import ProtectionContext, make_scheme
 from repro.resilience.injector import Injector
 from repro.resilience.recovery import RecoveryController
 from repro.sim.engine import Simulator, Watchdog
+from repro.sim.functional import (FunctionalChannel, FunctionalSm,
+                                  ImmediateQueue, replay)
 from repro.sim.stats import StatsRegistry
-from repro.workloads.base import GenContext, Workload
+from repro.workloads.base import GenContext, Workload, materialize
 
 
 class GpuSystem:
@@ -40,7 +42,23 @@ class GpuSystem:
                  obs: Optional[Observability] = None):
         self.config = config
         gpu = config.gpu
-        self.sim = Simulator()
+        functional_tier = config.fidelity == "functional"
+        if functional_tier:
+            # The functional tier has no clock: anything that measures
+            # or depends on time cannot run under it (see
+            # docs/PERFORMANCE.md "Fidelity tiers").
+            if config.resilience is not None:
+                raise ValueError(
+                    "fidelity='functional' cannot run resilience "
+                    "(injection/recovery are timed); use fidelity='event'")
+            if obs is not None and obs.enabled:
+                raise ValueError(
+                    "fidelity='functional' produces no timing, so "
+                    "tracing/sampling/latency attribution would be empty; "
+                    "use fidelity='event' for observed runs")
+            self.sim = ImmediateQueue()
+        else:
+            self.sim = Simulator()
         self.stats = StatsRegistry()
         self.obs = obs if obs is not None else OBS_OFF
         # Attach before building components: they cache the attributor
@@ -85,12 +103,19 @@ class GpuSystem:
                                    tracer=self.obs.tracer)
                 self.recovery.heal_hook = self.injector.heal
 
-        self.channels: List[MemoryChannel] = [
-            MemoryChannel(f"dram{i}", self.sim, gpu.dram, stats=self.stats,
-                          atom_bytes=gpu.sector_bytes,
-                          tracer=self.obs.tracer)
-            for i in range(gpu.num_slices)
-        ]
+        if functional_tier:
+            self.channels = [
+                FunctionalChannel(f"dram{i}", self.sim, stats=self.stats,
+                                  atom_bytes=gpu.sector_bytes)
+                for i in range(gpu.num_slices)
+            ]
+        else:
+            self.channels = [
+                MemoryChannel(f"dram{i}", self.sim, gpu.dram,
+                              stats=self.stats, atom_bytes=gpu.sector_bytes,
+                              tracer=self.obs.tracer)
+                for i in range(gpu.num_slices)
+            ]
 
         self.ctx = ProtectionContext(
             sim=self.sim, layout=layout, channels=self.channels,
@@ -124,17 +149,31 @@ class GpuSystem:
                 self.slices[s].invalidate_line(line)),
         )
 
-        self.crossbar = Crossbar(
-            self.sim, gpu.num_slices, latency=gpu.xbar_latency,
-            cycles_per_request=gpu.xbar_cycles_per_request,
-            cycles_per_sector=gpu.xbar_cycles_per_sector, stats=self.stats)
-
         chunk = gpu.slice_chunk_bytes
 
         def route(line_addr: int) -> int:
             return (line_addr * gpu.line_bytes // chunk) % gpu.num_slices
 
         self.route = route
+        if functional_tier:
+            # No interconnect timing to model — SMs talk to the slices
+            # directly, through the same receive_* interface.
+            self.crossbar = None
+            self.sms = [
+                FunctionalSm(
+                    i, self.sim, self.slices, route,
+                    l1_size=gpu.l1_size_kb * 1024, l1_ways=gpu.l1_ways,
+                    line_bytes=gpu.line_bytes,
+                    sector_bytes=gpu.sector_bytes,
+                    l1_mshr_entries=gpu.l1_mshr_entries,
+                    store_buffer=gpu.store_buffer, stats=self.stats)
+                for i in range(gpu.num_sms)
+            ]
+            return
+        self.crossbar = Crossbar(
+            self.sim, gpu.num_slices, latency=gpu.xbar_latency,
+            cycles_per_request=gpu.xbar_cycles_per_request,
+            cycles_per_sector=gpu.xbar_cycles_per_sector, stats=self.stats)
         self.sms: List[StreamingMultiprocessor] = [
             StreamingMultiprocessor(
                 i, self.sim, self.crossbar, self.slices, route,
@@ -143,7 +182,8 @@ class GpuSystem:
                 l1_latency=gpu.l1_latency,
                 l1_mshr_entries=gpu.l1_mshr_entries,
                 store_buffer=gpu.store_buffer, stats=self.stats,
-                scheduler=gpu.warp_scheduler, obs=self.obs)
+                scheduler=gpu.warp_scheduler, obs=self.obs,
+                blocking_stores=gpu.blocking_stores)
             for i in range(gpu.num_sms)
         ]
 
@@ -158,7 +198,7 @@ class GpuSystem:
                 num_sms=gpu.num_sms, warps_per_sm=gpu.warps_per_sm,
                 lanes=gpu.lanes, seed=self.config.seed,
                 line_bytes=gpu.line_bytes, sector_bytes=gpu.sector_bytes)
-        traces = workload.build(gen_ctx)
+        traces = materialize(workload, gen_ctx)
         for sm, warp_traces in zip(self.sms, traces):
             for ops in warp_traces:
                 sm.add_warp(ops)
@@ -195,8 +235,11 @@ class GpuSystem:
 
         ``watchdog`` guards against livelock and wall-clock blowups
         (see :class:`~repro.sim.engine.Watchdog`).  Returns total
-        simulated cycles.
+        simulated cycles (0 on the clock-free functional tier).
         """
+        if self.config.fidelity == "functional":
+            return self._run_functional(max_events=max_events,
+                                        watchdog=watchdog)
         self.obs.start()
         if self.injector is not None:
             self.injector.arm()
@@ -214,6 +257,26 @@ class GpuSystem:
             self.sim.run(max_events=max_events, watchdog=watchdog)
         self.obs.finish()
         return max(kernel_cycles, self.sim.now)
+
+    def _run_functional(self, max_events: Optional[int] = None,
+                        watchdog: Optional[Watchdog] = None) -> int:
+        """Clock-free replay (see :mod:`repro.sim.functional`).
+
+        A :class:`Watchdog`'s livelock detector is meaningless here
+        (``now`` never advances by design), so only its wall-clock
+        budget carries over; ``max_events`` bounds queue micro-tasks.
+        """
+        queue = self.sim
+        queue.set_budget(
+            max_events,
+            watchdog.max_wall_seconds if watchdog is not None else None)
+        replay(self.sms, queue)
+        if self.config.flush_at_end:
+            for sl in self.slices:
+                sl.flush()
+            self.scheme.drain()
+            queue.drain()
+        return 0
 
     # -- reporting --------------------------------------------------------------------
 
@@ -250,6 +313,7 @@ class GpuSystem:
                 "granule": self.config.protection.granule_bytes,
                 "code": self.config.protection.code_name,
             },
+            fidelity=self.config.fidelity,
         )
 
 

@@ -9,7 +9,21 @@ transaction count that protection schemes then amplify or absorb.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@lru_cache(maxsize=65536)
+def _coalesce_cached(addresses: Tuple[int, ...], line_bytes: int,
+                     sector_bytes: int) -> Tuple[Tuple[int, int], ...]:
+    if line_bytes % sector_bytes:
+        raise ValueError("line_bytes must be a multiple of sector_bytes")
+    lines: Dict[int, int] = {}
+    get = lines.get
+    for addr in addresses:
+        line, offset = divmod(addr, line_bytes)
+        lines[line] = get(line, 0) | (1 << (offset // sector_bytes))
+    return tuple(sorted(lines.items()))
 
 
 def coalesce(addresses: Iterable[int], line_bytes: int = 128,
@@ -18,18 +32,14 @@ def coalesce(addresses: Iterable[int], line_bytes: int = 128,
 
     ``line_addr`` is the line index (byte address // line_bytes);
     ``sector_mask`` has bit *i* set when sector *i* of that line is
-    touched.  Output is sorted by line for determinism.
+    touched.  Output is sorted by line for determinism.  The merge is
+    memoized — the same instruction replayed across schemes or
+    fidelity tiers coalesces once per process — but each call returns
+    a fresh list, so callers may mutate their copy freely.
     """
-    if line_bytes % sector_bytes:
-        raise ValueError("line_bytes must be a multiple of sector_bytes")
-    sectors_per_line = line_bytes // sector_bytes
-    lines: Dict[int, int] = {}
-    for addr in addresses:
-        line = addr // line_bytes
-        sector = (addr % line_bytes) // sector_bytes
-        lines[line] = lines.get(line, 0) | (1 << sector)
-    del sectors_per_line
-    return sorted(lines.items())
+    if type(addresses) is not tuple:
+        addresses = tuple(addresses)
+    return list(_coalesce_cached(addresses, line_bytes, sector_bytes))
 
 
 def coalesce_summary(transactions: List[Tuple[int, int]]) -> Dict[str, int]:

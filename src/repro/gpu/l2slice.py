@@ -95,9 +95,9 @@ class L2Slice:
                 args={"line": line_addr, "mask": sector_mask,
                       "dirty": dirty, "verified": verified})
         new_mask = sector_mask & ~line.valid_mask
-        for sector in _bits(new_mask):
-            self.cache.fill_sector(line, sector, dirty=dirty,
-                                   verified=verified)
+        if new_mask:
+            self.cache.fill_sectors(line, new_mask, dirty=dirty,
+                                    verified=verified)
         if dirty:
             line.dirty_mask |= sector_mask & line.valid_mask
         if verified:
@@ -261,8 +261,7 @@ class L2Slice:
         line, evicted = self.cache.allocate(line_addr)
         if evicted is not None and evicted.needs_writeback:
             self._defer_writeback(evicted)
-        for sector in _bits(sector_mask):
-            self.cache.fill_sector(line, sector, dirty=True, verified=True)
+        self.cache.fill_sectors(line, sector_mask, dirty=True, verified=True)
         line.dirty_mask |= sector_mask
         self.sim.schedule(self.latency, ack)
 

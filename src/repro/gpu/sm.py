@@ -69,7 +69,8 @@ class StreamingMultiprocessor:
                  l1_latency: int = 28, l1_mshr_entries: int = 64,
                  store_buffer: int = 64,
                  stats: Optional[StatGroup] = None,
-                 scheduler: str = "rr", obs=None):
+                 scheduler: str = "rr", obs=None,
+                 blocking_stores: bool = False):
         if scheduler not in ("rr", "gto"):
             raise ValueError("scheduler must be 'rr' or 'gto'")
         self.sm_id = sm_id
@@ -80,6 +81,9 @@ class StreamingMultiprocessor:
         self.line_bytes = line_bytes
         self.sector_bytes = sector_bytes
         self.l1_latency = l1_latency
+        #: Warps wait for store/atomic acks before retiring the op
+        #: (serializes the memory stream; see GpuConfig.blocking_stores).
+        self.blocking_stores = blocking_stores
         self._attributor = obs.latency if obs is not None else None
         tracer = obs.tracer if obs is not None else None
         self._tracer = tracer
@@ -223,9 +227,9 @@ class StreamingMultiprocessor:
         while warp.next_txn < len(warp.txns):
             line_addr, mask = warp.txns[warp.next_txn]
             if warp.is_atomic_op:
-                issued = self._issue_atomic_txn(line_addr, mask)
+                issued = self._issue_atomic_txn(warp, line_addr, mask)
             elif warp.is_store_op:
-                issued = self._issue_store_txn(line_addr, mask)
+                issued = self._issue_store_txn(warp, line_addr, mask)
             else:
                 issued = self._issue_load_txn(warp, line_addr, mask)
             if not issued:
@@ -233,8 +237,10 @@ class StreamingMultiprocessor:
                 self.sim.schedule(self.RETRY_CYCLES, self._advance_mem_op, warp)
                 return
             warp.next_txn += 1
-        if warp.is_store_op or warp.outstanding == 0:
-            # Stores retire immediately; loads only if everything hit.
+        if (warp.is_store_op and not self.blocking_stores) \
+                or warp.outstanding == 0:
+            # Stores retire immediately (unless blocking); loads only if
+            # everything hit.
             self._warp_ready(warp)
 
     # -- loads ------------------------------------------------------------------------
@@ -290,13 +296,8 @@ class StreamingMultiprocessor:
         # L1 is write-through: evictions are silent, nothing to do.
         del evicted
         new_mask = mask & ~line.valid_mask
-        sector = 0
-        m = new_mask
-        while m:
-            if m & 1:
-                self.l1.fill_sector(line, sector, dirty=False, verified=True)
-            m >>= 1
-            sector += 1
+        if new_mask:
+            self.l1.fill_sectors(line, new_mask, dirty=False, verified=True)
         entry = self.l1_mshrs.get(line_addr)
         if entry is None:
             return
@@ -314,7 +315,20 @@ class StreamingMultiprocessor:
 
     # -- stores ------------------------------------------------------------------------
 
-    def _issue_atomic_txn(self, line_addr: int, mask: int) -> bool:
+    def _store_ack(self, warp: _Warp) -> None:
+        """Blocking-store acknowledgment: free the store-buffer credit
+        and retire the op once every transaction has been acked."""
+        self.store_credits.release()
+        self._load_credit(warp)
+
+    def _store_ack_cb(self, warp: _Warp) -> Callable[[], None]:
+        if not self.blocking_stores:
+            return self.store_credits.release
+        warp.outstanding += 1
+        return lambda: self._store_ack(warp)
+
+    def _issue_atomic_txn(self, warp: _Warp, line_addr: int,
+                          mask: int) -> bool:
         """Atomics bypass the L1 (they execute at the L2's atomic unit)
         and invalidate any stale L1 copy of the touched sectors."""
         if not self.store_credits.try_acquire():
@@ -326,13 +340,14 @@ class StreamingMultiprocessor:
             line.verified_mask &= ~mask
         slice_id = self.route(line_addr)
         slice_obj = self.slices[slice_id]
+        ack = self._store_ack_cb(warp)
         self.crossbar.send_request(
             slice_id, mask.bit_count(),
-            lambda: slice_obj.receive_atomic(
-                line_addr, mask, self.store_credits.release))
+            lambda: slice_obj.receive_atomic(line_addr, mask, ack))
         return True
 
-    def _issue_store_txn(self, line_addr: int, mask: int) -> bool:
+    def _issue_store_txn(self, warp: _Warp, line_addr: int,
+                         mask: int) -> bool:
         if not self.store_credits.try_acquire():
             return False
         self._store_txns.add(1)
@@ -343,8 +358,8 @@ class StreamingMultiprocessor:
         slice_id = self.route(line_addr)
         slice_obj = self.slices[slice_id]
         sectors = mask.bit_count()
+        ack = self._store_ack_cb(warp)
         self.crossbar.send_request(
             slice_id, sectors,
-            lambda: slice_obj.receive_store(
-                line_addr, mask, self.store_credits.release))
+            lambda: slice_obj.receive_store(line_addr, mask, ack))
         return True

@@ -100,13 +100,23 @@ def record_from_result(result, *, label: str = "harness",
     ``config`` (a :class:`~repro.core.config.SystemConfig`) adds the
     content hash the persistent result cache would file this cell
     under — the strongest provenance link a record can carry.
+
+    Functional-fidelity results are distinct cells: their records
+    carry ``fidelity`` and an ``@functional``-suffixed cell id, so the
+    ledger index and the regression sentinel never conflate a
+    counters-only run with a timed one.
     """
+    fidelity = getattr(result, "fidelity", "event")
+    cell = f"{result.workload}/{result.scheme}"
+    if fidelity != "event":
+        cell += f"@{fidelity}"
     record: Dict[str, Any] = {
         "kind": "run",
         "label": label,
         "workload": result.workload,
         "scheme": result.scheme,
-        "cell": f"{result.workload}/{result.scheme}",
+        "fidelity": fidelity,
+        "cell": cell,
         "cached": bool(cached),
         "scale": scale,
         "seed": seed,
@@ -171,13 +181,18 @@ def record_from_bench(payload: Dict[str, Any],
     """A ledger record from a ``bench_engine.py`` payload."""
     raw = payload.get("raw_engine", {})
     sim = payload.get("real_sim", {})
+    metrics = {
+        "raw_events_per_sec": raw.get("events_per_sec", 0),
+        "sim_events_per_sec": sim.get("events_per_sec", 0),
+    }
+    functional = payload.get("functional_sim")
+    if functional:
+        metrics["functional_events_per_sec"] = \
+            functional.get("events_per_sec", 0)
     return {
         "kind": "bench",
         "label": label,
-        "metrics": {
-            "raw_events_per_sec": raw.get("events_per_sec", 0),
-            "sim_events_per_sec": sim.get("events_per_sec", 0),
-        },
+        "metrics": metrics,
         "bench": payload,
     }
 

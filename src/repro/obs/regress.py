@@ -47,6 +47,7 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[str, float]] = {
     # band only catches collapse, not jitter.
     "raw_events_per_sec": ("higher", 0.75),
     "sim_events_per_sec": ("higher", 0.75),
+    "functional_events_per_sec": ("higher", 0.75),
 }
 
 #: Metrics excluded from seeded baselines because they measure the
@@ -199,6 +200,7 @@ def make_baseline(records: Sequence[Dict[str, Any]],
         cells[cell] = {
             "workload": rec.get("workload"),
             "scheme": rec.get("scheme"),
+            "fidelity": rec.get("fidelity", "event"),
             "scale": rec.get("scale"),
             "seed": rec.get("seed"),
             "metrics": metrics,
@@ -229,7 +231,10 @@ def _match(cell_spec: Dict[str, Any], rec: Dict[str, Any]) -> bool:
         want = cell_spec.get(key)
         if want is not None and rec.get(key) != want:
             return False
-    return True
+    # Fidelity tiers are distinct cells; baselines predating the knob
+    # (and records written before it) both mean event mode.
+    return (rec.get("fidelity", "event")
+            == cell_spec.get("fidelity", "event"))
 
 
 def _compare(scope: str, metric: str, base: float, current: Optional[float],

@@ -23,7 +23,8 @@ functional store, and a stats group.  Schemes never talk to SMs.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Type
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
 from repro.dram.backing import FunctionalMemory
 from repro.dram.channel import DramRequest, MemoryChannel, RequestKind
@@ -31,6 +32,26 @@ from repro.dram.layout import InlineEccLayout
 from repro.ecc.base import DecodeStatus, ErrorCode
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatGroup
+
+
+@lru_cache(maxsize=4096)
+def mask_runs(mask: int, limit: int) -> Tuple[Tuple[int, int], ...]:
+    """``(start_sector, length)`` for contiguous runs in a mask.
+
+    Memoized: only ``2**sectors_per_line`` distinct masks exist, and
+    run extraction sits on every DRAM read/write path.
+    """
+    runs = []
+    sector = 0
+    while sector < limit:
+        if mask & (1 << sector):
+            start = sector
+            while sector < limit and mask & (1 << sector):
+                sector += 1
+            runs.append((start, sector - start))
+        else:
+            sector += 1
+    return tuple(runs)
 
 
 class ProtectionContext:
@@ -221,18 +242,7 @@ class ProtectionScheme(abc.ABC):
 
     # -- shared helpers -----------------------------------------------------------
 
-    @staticmethod
-    def _mask_runs(mask: int, limit: int):
-        """Yield (start_sector, length) for contiguous runs in a mask."""
-        sector = 0
-        while sector < limit:
-            if mask & (1 << sector):
-                start = sector
-                while sector < limit and mask & (1 << sector):
-                    sector += 1
-                yield start, sector - start
-            else:
-                sector += 1
+    _mask_runs = staticmethod(mask_runs)
 
     def read_mask(self, slice_id: int, line_addr: int, mask: int,
                   kind: RequestKind, on_done: Callable[[], None]) -> None:
@@ -240,7 +250,7 @@ class ProtectionScheme(abc.ABC):
         every atom has returned.  Contiguous sectors share one burst."""
         ctx = self.ctx
         assert ctx is not None
-        runs = list(self._mask_runs(mask, ctx.sectors_per_line))
+        runs = mask_runs(mask, ctx.sectors_per_line)
         if not runs:
             ctx.sim.schedule(0, on_done)
             return

@@ -422,10 +422,17 @@ class InlineFullGranule(MetadataCacheScheme):
         assert self.stats is not None
         self._overfetch_sectors = self.stats.counter("overfetch_sectors")
         self._rmw_sectors = self.stats.counter("rmw_sectors")
+        # Pure-geometry memos (layout is fixed once bound).
+        self._glines_memo = {}
+        self._granules_memo = {}
 
     # -- granule geometry helpers ------------------------------------------------
 
     def _granules_of(self, line_addr: int, sector_mask: int):
+        memo = self._granules_memo
+        cached = memo.get((line_addr, sector_mask))
+        if cached is not None:
+            return cached
         ctx = self.ctx
         assert ctx is not None
         base = line_addr * ctx.line_bytes
@@ -435,15 +442,22 @@ class InlineFullGranule(MetadataCacheScheme):
                 granule = ctx.layout.granule_of(base + s * ctx.sector_bytes)
                 if granule not in granules:
                     granules.append(granule)
-        return granules
+        result = tuple(granules)
+        memo[(line_addr, sector_mask)] = result
+        return result
 
     def _granule_lines(self, granule: int):
-        """Yield (line_addr, sector_mask) covering the whole granule."""
+        """(line_addr, sector_mask) tiles covering the whole granule."""
+        memo = self._glines_memo
+        cached = memo.get(granule)
+        if cached is not None:
+            return cached
         ctx = self.ctx
         assert ctx is not None
         base = ctx.layout.granule_base(granule)
         end = base + ctx.layout.granule_bytes
         addr = base
+        tiles = []
         while addr < end:
             line_addr = addr // ctx.line_bytes
             line_base = line_addr * ctx.line_bytes
@@ -451,7 +465,10 @@ class InlineFullGranule(MetadataCacheScheme):
             while addr < end and addr // ctx.line_bytes == line_addr:
                 mask |= 1 << ((addr - line_base) // ctx.sector_bytes)
                 addr += ctx.sector_bytes
-            yield line_addr, mask
+            tiles.append((line_addr, mask))
+        result = tuple(tiles)
+        memo[granule] = result
+        return result
 
     # -- scheme interface ------------------------------------------------------------
 

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import abc
 import random
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Tuple, Type
 
 from repro.gpu.trace import ComputeOp, MemoryOp, WarpOp
@@ -115,6 +116,71 @@ def make_workload(name: str, **params) -> Workload:
             f"unknown workload {name!r}; known: {sorted(WORKLOAD_REGISTRY)}"
         ) from None
     return cls(**params)
+
+
+# -- trace memoization -------------------------------------------------------
+#
+# Trace generation is deterministic: (workload name, its params, every
+# GenContext field) fully determines the op lists, and nothing mutates
+# a built trace afterwards (ops are frozen dataclasses; SMs wrap each
+# warp's list in a fresh iterator).  So `compare` over N schemes — or a
+# parity test running event and functional back-to-back — can
+# materialize each trace once and share it.
+
+#: Maximum memoized traces per process.  Traces are the largest
+#: allocation in a run; a small LRU covers the common loops (same
+#: workload across schemes / fidelities) without hoarding memory.
+TRACE_CACHE_CAPACITY = 16
+
+_trace_cache: "OrderedDict[tuple, List[List[List[WarpOp]]]]" = OrderedDict()
+_trace_hits = 0
+_trace_misses = 0
+
+
+def _trace_key(workload: Workload, ctx: GenContext) -> tuple:
+    return (workload.name,
+            tuple(sorted(workload.params.items())),
+            tuple(sorted(asdict(ctx).items())))
+
+
+def materialize(workload: Workload,
+                ctx: GenContext) -> List[List[List[WarpOp]]]:
+    """Memoized :meth:`Workload.build` (``[sm][warp] -> ops``).
+
+    Callers must treat the returned traces as immutable — they are
+    shared across runs in this process.
+    """
+    global _trace_hits, _trace_misses
+    try:
+        key = _trace_key(workload, ctx)
+    except TypeError:  # unhashable params: build uncached
+        _trace_misses += 1
+        return workload.build(ctx)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        _trace_cache.move_to_end(key)
+        _trace_hits += 1
+        return cached
+    _trace_misses += 1
+    traces = workload.build(ctx)
+    _trace_cache[key] = traces
+    while len(_trace_cache) > TRACE_CACHE_CAPACITY:
+        _trace_cache.popitem(last=False)
+    return traces
+
+
+def trace_cache_stats() -> Dict[str, int]:
+    """Hit/miss/occupancy counters for ``cache stats`` debug output."""
+    return {"entries": len(_trace_cache), "hits": _trace_hits,
+            "misses": _trace_misses, "capacity": TRACE_CACHE_CAPACITY}
+
+
+def trace_cache_clear() -> None:
+    """Empty the trace memo and reset its hit/miss counters (tests)."""
+    global _trace_hits, _trace_misses
+    _trace_cache.clear()
+    _trace_hits = 0
+    _trace_misses = 0
 
 
 def array_layout(sizes_bytes: List[int], align: int = 4096,
