@@ -20,6 +20,8 @@ from repro.core.config import ALL_SCHEMES, FIDELITIES, SystemConfig
 from repro.core.results import RunResult
 from repro.core.system import run_workload
 from repro.obs.ledger import RunLedger, record_from_result, resolve_ledger
+from repro.obs.progress import ProgressWriter
+from repro.obs.structlog import NullLog, resolve_log, run_context
 from repro.sim.engine import Watchdog
 from repro.workloads import make_workload
 from repro.workloads.base import GenContext, Workload
@@ -63,7 +65,9 @@ class ExperimentHarness:
                  ledger: Union[None, bool, str, os.PathLike,
                                RunLedger] = None,
                  ledger_label: str = "harness",
-                 fidelity: str = "event"):
+                 fidelity: str = "event",
+                 log: Union[None, bool, str, os.PathLike, NullLog] = None,
+                 progress_dir: Union[None, str, os.PathLike] = None):
         if fidelity not in FIDELITIES:
             raise ValueError(
                 f"unknown fidelity {fidelity!r}; known: {FIDELITIES}")
@@ -104,6 +108,23 @@ class ExperimentHarness:
         self.ledger: Optional[RunLedger] = resolve_ledger(ledger)
         self.ledger_label = ledger_label
         self._ledger_logged: set = set()
+        #: Structured event log (see :mod:`repro.obs.structlog`):
+        #: cell lifecycle, cache traffic and pool fan-out narrate into
+        #: a JSONL file shared by every process of the run.
+        #: ``None``/``True`` uses the environment default
+        #: (``REPRO_LOG``); ``False`` opts out.
+        self.log = resolve_log(log)
+        if self.log.enabled:
+            self.log = self.log.bind(**run_context(
+                run=ledger_label, fidelity=fidelity))
+        #: Live progress channel (see :mod:`repro.obs.progress`): when
+        #: a progress directory is given, every cell's lifecycle is
+        #: mirrored there for ``obs top`` / ``--live`` rendering.
+        self.progress: Optional[ProgressWriter] = (
+            ProgressWriter(progress_dir, role="parent")
+            if progress_dir else None)
+        if self.result_cache is not None and self.log.enabled:
+            self.result_cache.log = self.log
         #: Simulations actually executed by this harness (cache hits,
         #: in-memory or persistent, do not count).
         self.sims_run = 0
@@ -157,7 +178,8 @@ class ExperimentHarness:
             result, label=self.ledger_label, config=cfg,
             scale=self.scale, seed=self.seed,
             workload_params=self.workload_params.get(workload, {}),
-            cached=cached))
+            cached=cached,
+            log_path=str(self.log.path) if self.log.enabled else None))
 
     def run(self, workload: str, scheme: str,
             config: Optional[SystemConfig] = None, **protection_overrides
@@ -167,24 +189,47 @@ class ExperimentHarness:
             (config or self.config).with_scheme(scheme,
                                                 **protection_overrides))
         key = self._mem_key(workload, cfg)
+        cell_id = f"{workload}/{scheme}"
         cached = self._cache.get(key)
         if cached is not None:
             self._ledger_record(workload, cfg, cached, True, key)
             return cached
         result = self._persistent_get(workload, cfg)
         from_cache = result is not None
+        log = self.log.bind(cell=cell_id) if self.log.enabled else self.log
         if result is None:
+            log.info("cell.start", scale=self.scale, seed=self.seed)
+            if self.progress is not None:
+                self.progress.cell(cell_id, "start")
             obs = (self.obs_factory(workload, scheme)
                    if self.obs_factory else None)
             watchdog = None
             if self.max_wall_seconds is not None:
                 watchdog = Watchdog(max_wall_seconds=self.max_wall_seconds)
-            result = run_workload(self._build_workload(workload), cfg,
-                                  gen_ctx=self._gen_ctx(cfg), obs=obs,
-                                  max_events=self.max_events,
-                                  watchdog=watchdog)
+            try:
+                result = run_workload(self._build_workload(workload), cfg,
+                                      gen_ctx=self._gen_ctx(cfg), obs=obs,
+                                      max_events=self.max_events,
+                                      watchdog=watchdog)
+            except Exception as exc:
+                log.error("cell.failed", error=f"{type(exc).__name__}: {exc}")
+                if self.progress is not None:
+                    self.progress.cell(cell_id, "failed",
+                                       error=f"{type(exc).__name__}: {exc}")
+                raise
             self.sims_run += 1
             self._persistent_put(workload, cfg, result)
+            log.info("cell.done", cycles=result.cycles,
+                     events=int(result.events_executed),
+                     host_seconds=round(result.host_seconds, 3))
+            if self.progress is not None:
+                self.progress.cell(cell_id, "done",
+                                   events=int(result.events_executed),
+                                   host_seconds=round(result.host_seconds, 3))
+        else:
+            log.info("cell.cached", source="persistent")
+            if self.progress is not None:
+                self.progress.cell(cell_id, "cached")
         self._cache[key] = result
         self._ledger_record(workload, cfg, result, from_cache, key)
         return result
@@ -220,9 +265,11 @@ class ExperimentHarness:
             max_events=max_events if max_events is not None
             else self.max_events,
             max_wall_seconds=self.max_wall_seconds)
-        runner = CampaignRunner(journal_path, workers=workers,
-                                timeout=timeout, max_attempts=max_attempts,
-                                ledger=self.ledger)
+        runner = CampaignRunner(
+            journal_path, workers=workers, timeout=timeout,
+            max_attempts=max_attempts, ledger=self.ledger, log=self.log,
+            progress_dir=(self.progress.dir if self.progress is not None
+                          else None))
         return runner.run(cells, resume=resume, progress=progress)
 
     def matrix(self, workloads: Sequence[str],
@@ -240,6 +287,9 @@ class ExperimentHarness:
         the serial path regardless of completion order.  Results fill
         the same in-memory/persistent caches as serial runs.
         """
+        if self.progress is not None:
+            self.progress.plan(len(list(workloads)) * len(list(schemes)),
+                               label=self.ledger_label)
         if workers is None or workers <= 1:
             return {
                 wl: {sc: self.run(wl, sc, config=config) for sc in schemes}
@@ -266,6 +316,14 @@ class ExperimentHarness:
             spec["max_events"] = self.max_events
         if self.max_wall_seconds is not None:
             spec["max_wall_seconds"] = self.max_wall_seconds
+        # Telemetry channels cross the process boundary by path: the
+        # worker opens its own appender on each (O_APPEND keeps the
+        # interleaving whole-record atomic).
+        if self.log.enabled:
+            spec["log"] = str(self.log.path)
+            spec["log_level"] = getattr(self.log, "level", "debug")
+        if self.progress is not None:
+            spec["progress_dir"] = str(self.progress.dir)
         return spec
 
     def _matrix_parallel(self, workloads: List[str], schemes: List[str],
@@ -292,9 +350,16 @@ class ExperimentHarness:
                 if cached is not None:
                     grid[wl][sc] = cached
                     self._ledger_record(wl, cfg, cached, True, key)
+                    if self.log.enabled:
+                        self.log.info("cell.cached", cell=f"{wl}/{sc}",
+                                      source="persistent")
+                    if self.progress is not None:
+                        self.progress.cell(f"{wl}/{sc}", "cached")
                 else:
                     todo.append((wl, sc, cfg, key))
         if todo:
+            self.log.info("pool.start", cells=len(todo),
+                          workers=min(workers, len(todo)))
             specs = [self._cell_spec(wl, sc, cfg)
                      for wl, sc, cfg, _key in todo]
             with ProcessPoolExecutor(
@@ -311,6 +376,7 @@ class ExperimentHarness:
                     # parent appends on result receipt.
                     self._ledger_record(wl, cfg, result, False, key)
                     grid[wl][sc] = result
+            self.log.info("pool.done", cells=len(todo))
         return {wl: {sc: grid[wl][sc] for sc in schemes}
                 for wl in workloads}
 
@@ -352,7 +418,10 @@ def compare_schemes(workload: str,
                     harness: Optional[ExperimentHarness] = None,
                     ledger: Union[None, bool, str, os.PathLike,
                                   RunLedger] = None,
-                    fidelity: str = "event"
+                    fidelity: str = "event",
+                    log: Union[None, bool, str, os.PathLike,
+                               NullLog] = None,
+                    progress_dir: Union[None, str, os.PathLike] = None
                     ) -> List[dict]:
     """One-call scheme comparison for a single workload.
 
@@ -372,7 +441,8 @@ def compare_schemes(workload: str,
         harness = ExperimentHarness(config=config, scale=scale, seed=seed,
                                     obs_factory=obs_factory,
                                     cache_dir=cache_dir, ledger=ledger,
-                                    fidelity=fidelity)
+                                    fidelity=fidelity, log=log,
+                                    progress_dir=progress_dir)
     grid = harness.matrix([workload], schemes, workers=workers)
     results = [grid[workload][scheme] for scheme in schemes]
     base = results[0]

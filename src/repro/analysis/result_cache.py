@@ -100,13 +100,21 @@ def cache_key(workload: str, config: SystemConfig, scale: float, seed: int,
 class ResultCache:
     """Content-addressed on-disk store of :class:`RunResult` objects."""
 
-    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 log=None):
         self.dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         #: Load/store counters for this instance (observability).
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Structured logger (:mod:`repro.obs.structlog`); hit/miss/
+        #: stale/store events are emitted at debug level.  Assignable
+        #: after construction — the harness points a shared cache at
+        #: its own run-scoped logger.
+        from repro.obs.structlog import NULL_LOG
+
+        self.log = log if log is not None else NULL_LOG
 
     # -- addressing ---------------------------------------------------------
 
@@ -128,6 +136,7 @@ class ResultCache:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
+            self.log.debug("cache.miss", key=key[:12])
             return None
         # Defense in depth: the version is in the key already, but a
         # hand-copied or corrupted entry must still never satisfy a
@@ -135,13 +144,19 @@ class ResultCache:
         if entry.get("model_version") != MODEL_VERSION \
                 or entry.get("format") != CACHE_FORMAT:
             self.misses += 1
+            self.log.debug("cache.stale", key=key[:12],
+                           entry_model=str(entry.get("model_version")),
+                           model=MODEL_VERSION)
             return None
         try:
             result = RunResult.from_dict(entry["result"])
         except (KeyError, TypeError):
             self.misses += 1
+            self.log.debug("cache.stale", key=key[:12],
+                           reason="undecodable result payload")
             return None
         self.hits += 1
+        self.log.debug("cache.hit", key=key[:12])
         return result
 
     def put(self, key: str, result: RunResult,
@@ -168,6 +183,7 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        self.log.debug("cache.store", key=key[:12])
         return path
 
     # -- maintenance ---------------------------------------------------------

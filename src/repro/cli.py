@@ -69,6 +69,42 @@ def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
                        help="do not record this invocation in the ledger")
 
 
+def _add_log_args(parser: argparse.ArgumentParser) -> None:
+    """Structured-log flags shared by run/compare/campaign."""
+    group = parser.add_argument_group("structured log")
+    group.add_argument("--log-out", default=None, metavar="FILE",
+                       help="append structured JSONL events to FILE "
+                            "(default: $REPRO_LOG, off when unset)")
+    group.add_argument("--log-level", default=None,
+                       choices=("debug", "info", "warn", "error"),
+                       help="minimum level to record (default debug)")
+
+
+def _log_from_args(args: argparse.Namespace):
+    """The configured structured logger (flags override environment)."""
+    from repro.obs.structlog import StructLog, resolve_log
+
+    if getattr(args, "log_out", None):
+        return StructLog(args.log_out, level=args.log_level or "debug")
+    return resolve_log(None)
+
+
+def _add_live_args(parser: argparse.ArgumentParser) -> None:
+    """Live-dashboard flags shared by compare/campaign."""
+    group = parser.add_argument_group("live telemetry")
+    group.add_argument("--live", action="store_true",
+                       help="render a live fleet dashboard (plain-text "
+                            "frames; works without a TTY)")
+    group.add_argument("--live-interval", type=float, default=1.0,
+                       metavar="SEC",
+                       help="seconds between dashboard frames; 0 prints "
+                            "a single final frame (CI mode; default 1)")
+    group.add_argument("--progress-dir", default=None, metavar="DIR",
+                       help="progress-channel directory (default: a "
+                            "temporary directory when --live is given); "
+                            "inspect any run with `obs top DIR`")
+
+
 def _ledger_from_args(args: argparse.Namespace, required: bool = False):
     """The configured ledger, or None when disabled (flag or env)."""
     from repro.obs.ledger import resolve_ledger
@@ -108,12 +144,15 @@ def _make_obs(args: argparse.Namespace,
             trace_out=args.trace_out, metrics_out=args.metrics_out,
             sample_interval=args.sample_interval,
             trace_categories=args.trace_categories,
-            attribute_latency=attribute_latency)
+            attribute_latency=attribute_latency,
+            flame_out=getattr(args, "flame_out", None),
+            flame_sample_every=getattr(args, "flame_sample_every", 64))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
 
-def _export_obs(obs: Observability, trace_out, metrics_out) -> None:
+def _export_obs(obs: Observability, trace_out, metrics_out,
+                flame_out=None) -> None:
     """Write whatever the hub collected to the requested files."""
     if trace_out and obs.tracer.enabled:
         obs.tracer.export(trace_out)
@@ -128,6 +167,12 @@ def _export_obs(obs: Observability, trace_out, metrics_out) -> None:
                 obs.sampler.to_jsonl(fh)
         print(f"wrote {len(obs.sampler.samples)} metric windows "
               f"to {metrics_out}")
+    if flame_out and obs.flame is not None:
+        obs.flame.export(flame_out)
+        print(f"wrote {obs.flame.sample_count} flame samples "
+              f"({len(obs.flame.samples)} stacks) to {flame_out} "
+              "(collapsed-stack format: feed to flamegraph.pl or "
+              "speedscope)")
 
 
 def _scheme_path(path: str, scheme: str) -> str:
@@ -166,6 +211,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the result as JSON")
     _add_obs_args(run_p)
     _add_ledger_args(run_p)
+    _add_log_args(run_p)
 
     trace_p = sub.add_parser("trace",
                              help="dump a workload's warp traces to a "
@@ -194,6 +240,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "and cycles are not reported)")
     _add_obs_args(cmp_p)
     _add_ledger_args(cmp_p)
+    _add_log_args(cmp_p)
+    _add_live_args(cmp_p)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
@@ -218,6 +266,13 @@ def _build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--code", default="secded")
     prof_p.add_argument("--top", type=int, default=8,
                         help="hottest components to show (default 8)")
+    prof_p.add_argument("--flame-out", default=None, metavar="FILE",
+                        help="write a deterministic collapsed-stack "
+                             "profile of the engine itself (flamegraph.pl"
+                             "/speedscope input)")
+    prof_p.add_argument("--flame-sample-every", type=int, default=64,
+                        metavar="N", help="flame sampling period in "
+                                          "executed events (default 64)")
     _add_obs_args(prof_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -280,6 +335,8 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(MODE: hang|crash|livelock), e.g. "
                              "--sabotage vecadd/none=livelock")
     _add_ledger_args(camp_p)
+    _add_log_args(camp_p)
+    _add_live_args(camp_p)
 
     obs_p = sub.add_parser(
         "obs", help="cross-run telemetry: ledger history, regression "
@@ -290,7 +347,8 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="recent ledger records as a table")
     hist_p.add_argument("--limit", type=int, default=20,
                         help="most recent records to show (default 20)")
-    hist_p.add_argument("--kind", choices=("run", "bench"), default=None)
+    hist_p.add_argument("--kind", choices=("run", "bench", "session"),
+                        default=None)
     hist_p.add_argument("--workload", "-w", default=None)
     hist_p.add_argument("--scheme", "-s", default=None)
     hist_p.add_argument("--json", action="store_true",
@@ -301,7 +359,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "diff", help="metric-by-metric delta between two ledger records")
     diff_p.add_argument("run_a", help="run id (or unique prefix)")
     diff_p.add_argument("run_b", help="run id (or unique prefix)")
+    diff_p.add_argument("--json", action="store_true",
+                        help="emit the diff as one JSON object")
     _add_ledger_args(diff_p)
+
+    top_p = obs_sub.add_parser(
+        "top", help="live fleet dashboard over a progress directory "
+                    "(see compare/campaign --live)")
+    top_p.add_argument("progress_dir", metavar="DIR",
+                       help="progress directory written by a running "
+                            "compare/campaign")
+    top_p.add_argument("--watch", action="store_true",
+                       help="keep redrawing until interrupted "
+                            "(default: one frame)")
+    top_p.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                       help="seconds between frames with --watch")
+    top_p.add_argument("--stale-after", type=float, default=10.0,
+                       metavar="SEC",
+                       help="report a worker stale after this many "
+                            "seconds without a heartbeat (default 10)")
+
+    flame_p = obs_sub.add_parser(
+        "flame", help="deterministic engine flamegraph for one cell "
+                      "(collapsed-stack output; bit-identical across "
+                      "runs of the same cell)")
+    flame_p.add_argument("--workload", "-w", default="spmv",
+                         choices=sorted(WORKLOAD_REGISTRY))
+    flame_p.add_argument("--scheme", "-s", default="cachecraft",
+                         choices=ALL_SCHEMES)
+    flame_p.add_argument("--scale", type=float, default=0.3)
+    flame_p.add_argument("--seed", type=int, default=42)
+    flame_p.add_argument("--fidelity", choices=FIDELITIES, default="event",
+                         help="tier to profile (the flame profiler counts "
+                              "events, so the functional tier works too)")
+    flame_p.add_argument("--sample-every", type=int, default=64, metavar="N",
+                         help="sampling period in executed events "
+                              "(default 64)")
+    flame_p.add_argument("--out", "-o", default=None, metavar="FILE",
+                         help="write collapsed stacks to FILE "
+                              "(default: stdout)")
+    flame_p.add_argument("--top", type=int, default=10,
+                         help="hottest stacks to summarize with --out "
+                              "(default 10)")
 
     regress_p = obs_sub.add_parser(
         "regress", help="compare latest records against a baseline; "
@@ -359,8 +458,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.with_fidelity(args.fidelity)
     gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
     obs = _make_obs(args)
-    result = run_workload(make_workload(args.workload), config,
-                          gen_ctx=gen_ctx, obs=obs)
+    log = _log_from_args(args)
+    if log.enabled:
+        from repro.obs.structlog import run_context
+
+        log = log.bind(**run_context(run="cli.run",
+                                     cell=f"{args.workload}/{args.scheme}",
+                                     fidelity=args.fidelity))
+    log.info("run.start", scale=args.scale, seed=args.seed)
+    try:
+        result = run_workload(make_workload(args.workload), config,
+                              gen_ctx=gen_ctx, obs=obs)
+    except Exception as exc:
+        log.error("run.failed", error=f"{type(exc).__name__}: {exc}")
+        raise
+    log.info("run.done", cycles=result.cycles,
+             events=int(result.events_executed),
+             host_seconds=round(result.host_seconds, 3))
     _export_obs(obs, args.trace_out, args.metrics_out)
     ledger = _ledger_from_args(args)
     if ledger is not None:
@@ -368,7 +482,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         ledger.safe_append(record_from_result(
             result, label="cli.run", config=config,
-            scale=args.scale, seed=args.seed))
+            scale=args.scale, seed=args.seed,
+            log_path=str(log.path) if log.enabled else None))
     if args.json:
         print(result.to_json())
         return 0
@@ -430,15 +545,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
               "serially so --trace-out/--metrics-out are not lost",
               file=sys.stderr)
         workers = None
+    log = _log_from_args(args)
+    progress_dir = args.progress_dir
+    if progress_dir is None and args.live:
+        import tempfile
+
+        progress_dir = tempfile.mkdtemp(prefix="repro-progress-")
+    ledger = _ledger_from_args(args)
     harness = ExperimentHarness(scale=args.scale, seed=args.seed,
                                 obs_factory=obs_factory,
                                 cache_dir=cache_dir,
-                                ledger=_ledger_from_args(args) or False,
+                                ledger=ledger or False,
                                 ledger_label="cli.compare",
-                                fidelity=args.fidelity)
-    rows = compare_schemes(args.workload, scale=args.scale, seed=args.seed,
-                           obs_factory=obs_factory, workers=workers,
-                           harness=harness, fidelity=args.fidelity)
+                                fidelity=args.fidelity,
+                                log=log, progress_dir=progress_dir)
+    renderer = None
+    if args.live:
+        from repro.obs.progress import LiveRenderer
+
+        print(f"live telemetry: progress dir {progress_dir} "
+              f"(follow along with `obs top {progress_dir}`)")
+        renderer = LiveRenderer(progress_dir, interval=args.live_interval,
+                                title=f"compare: {args.workload}").start()
+    try:
+        rows = compare_schemes(args.workload, scale=args.scale,
+                               seed=args.seed, obs_factory=obs_factory,
+                               workers=workers, harness=harness,
+                               fidelity=args.fidelity)
+    finally:
+        if renderer is not None:
+            renderer.stop()
+    if ledger is not None and progress_dir is not None:
+        from repro.obs.ledger import record_from_session
+        from repro.obs.progress import read_progress, snapshot, summary_dict
+
+        summary = summary_dict(snapshot(read_progress(progress_dir)))
+        ledger.safe_append(record_from_session(
+            "cli.compare", summary,
+            log_path=str(log.path) if log.enabled else None,
+            progress_dir=str(progress_dir)))
     timed = args.fidelity == "event"
     table = [[r["scheme"],
               r["norm_perf"] if timed else "-",
@@ -509,7 +654,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("warning: latency components do not sum to the total "
               "(attribution bug)", file=sys.stderr)
         return 1
-    _export_obs(obs, args.trace_out, args.metrics_out)
+    _export_obs(obs, args.trace_out, args.metrics_out, args.flame_out)
     return 0
 
 
@@ -603,11 +748,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                         seed=args.seed, protection=protection,
                         resilience=resilience, max_events=args.max_events,
                         sabotage=sabotage or None)
+    log = _log_from_args(args)
+    progress_dir = args.progress_dir
+    if progress_dir is None and args.live:
+        import tempfile
+
+        progress_dir = tempfile.mkdtemp(prefix="repro-progress-")
     runner = CampaignRunner(args.journal, workers=args.workers,
                             timeout=args.timeout,
                             max_attempts=args.max_attempts,
-                            ledger=_ledger_from_args(args))
-    summary = runner.run(cells, resume=not args.no_resume, progress=print)
+                            ledger=_ledger_from_args(args),
+                            log=log, progress_dir=progress_dir)
+    renderer = None
+    progress_cb = print
+    if args.live:
+        from repro.obs.progress import LiveRenderer
+
+        print(f"live telemetry: progress dir {progress_dir} "
+              f"(follow along with `obs top {progress_dir}`)")
+        renderer = LiveRenderer(progress_dir, interval=args.live_interval,
+                                title="campaign").start()
+        # The dashboard supersedes the per-cell progress lines (both on
+        # stdout would interleave).
+        progress_cb = None
+    try:
+        summary = runner.run(cells, resume=not args.no_resume,
+                             progress=progress_cb)
+    finally:
+        if renderer is not None:
+            renderer.stop()
     rows = []
     for cell in cells:
         cell_id = cell["cell"]
@@ -644,10 +813,65 @@ def _parse_tolerances(items) -> dict:
     return tolerances
 
 
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.progress import read_progress, render_top, snapshot
+
+    def frame() -> str:
+        records = read_progress(args.progress_dir)
+        snap = snapshot(records, stale_after=args.stale_after)
+        return render_top(snap, title=f"repro fleet: {args.progress_dir}")
+
+    if not args.watch:
+        print(frame())
+        return 0
+    try:
+        while True:
+            print(frame())
+            print()
+            _time.sleep(max(args.interval, 0.1))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from repro.obs.flame import FlameProfiler
+
+    config = bench_config().with_scheme(args.scheme)
+    if args.fidelity != "event":
+        config = config.with_fidelity(args.fidelity)
+    gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
+    flame = FlameProfiler(sample_every=args.sample_every)
+    obs = Observability(flame=flame)
+    run_workload(make_workload(args.workload), config,
+                 gen_ctx=gen_ctx, obs=obs)
+    if args.out:
+        flame.export(args.out)
+        print(f"wrote {flame.sample_count} flame samples "
+              f"({len(flame.samples)} stacks) to {args.out} "
+              "(collapsed-stack format; feed to flamegraph.pl or "
+              "speedscope)")
+        if args.top:
+            print(f"hottest {min(args.top, len(flame.samples))} stacks:")
+            for stack, count in flame.top_stacks(args.top):
+                print(f"  {count:8d}  {stack}")
+    else:
+        sys.stdout.write(flame.collapsed())
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from datetime import datetime
 
     from repro.obs import htmlreport, regress
+
+    # `obs top` and `obs flame` read a progress directory / run a cell;
+    # neither takes ledger args, so dispatch before resolving the ledger.
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    if args.obs_command == "flame":
+        return _cmd_obs_flame(args)
 
     ledger = _ledger_from_args(args, required=True)
 
@@ -708,6 +932,16 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                                  f"{prefix!r} in {ledger.path}")
             records[name] = rec
         rec_a, rec_b = records["run_a"], records["run_b"]
+        if args.json:
+            import json as _json
+
+            rows = regress.diff_records(rec_a, rec_b)
+            print(_json.dumps({
+                "a": rec_a, "b": rec_b,
+                "rows": [{"metric": m, "a": a, "b": b, "delta": d}
+                         for m, a, b, d in rows],
+            }, sort_keys=True))
+            return 0
         for tag, rec in (("A", rec_a), ("B", rec_b)):
             print(f"{tag}: {str(rec.get('run_id'))[:12]}  {when(rec)}  "
                   f"{rec.get('cell') or rec.get('kind')}  "

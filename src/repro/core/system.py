@@ -51,11 +51,12 @@ class GpuSystem:
                 raise ValueError(
                     "fidelity='functional' cannot run resilience "
                     "(injection/recovery are timed); use fidelity='event'")
-            if obs is not None and obs.enabled:
+            if obs is not None and obs.timed_enabled:
                 raise ValueError(
                     "fidelity='functional' produces no timing, so "
                     "tracing/sampling/latency attribution would be empty; "
-                    "use fidelity='event' for observed runs")
+                    "use fidelity='event' for observed runs (the flame "
+                    "profiler counts events, not cycles, and is allowed)")
             self.sim = ImmediateQueue()
         else:
             self.sim = Simulator()
@@ -270,6 +271,14 @@ class GpuSystem:
         queue.set_budget(
             max_events,
             watchdog.max_wall_seconds if watchdog is not None else None)
+        if self.obs.flame is not None:
+            # The tier's driver is a host-side loop, not scheduled
+            # events, so the root frame (smN.step) is planted here;
+            # the micro-tasks each step drains inherit it through the
+            # instrumented queue.
+            for sm in self.sms:
+                sm.step = self.obs.flame.wrap_root(
+                    f"sm{sm.sm_id}.step", sm.step)
         replay(self.sms, queue)
         if self.config.flush_at_end:
             for sl in self.slices:

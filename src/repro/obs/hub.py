@@ -9,13 +9,18 @@ systems and free to consult on hot paths.
 Construction is two-phase because the hub outlives any single system
 configuration: ``Observability(...)`` records *what* to observe;
 :meth:`Observability.attach` (called by ``GpuSystem``) binds the
-sampler and attributor to that system's simulator and stats registry.
+sampler, attributor and flame profiler to that system's simulator and
+stats registry.  An enabled hub binds to **one** system: a second
+:meth:`attach` without an intervening :meth:`detach` raises, because
+silently rebinding would leave the first system's observers orphaned
+and split one run's samples across two machines.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.flame import FlameProfiler
 from repro.obs.latency import LatencyAttributor
 from repro.obs.sampler import MetricsSampler
 from repro.obs.tracer import NULL_TRACER, ChromeTracer, NullTracer
@@ -28,26 +33,67 @@ class Observability:
 
     def __init__(self, tracer: Optional[NullTracer] = None,
                  sample_interval: int = 0,
-                 attribute_latency: bool = False):
+                 attribute_latency: bool = False,
+                 flame: Optional[FlameProfiler] = None):
         self.tracer: NullTracer = tracer if tracer is not None else NULL_TRACER
         self.sample_interval = sample_interval
         self.attribute_latency = attribute_latency
+        #: Optional deterministic self-profiler
+        #: (:class:`~repro.obs.flame.FlameProfiler`); attached to the
+        #: scheduling surface alongside the timed observers.
+        self.flame = flame
         self.sampler: Optional[MetricsSampler] = None
         self.latency: Optional[LatencyAttributor] = None
+        self._attached_to: Optional[object] = None
 
     @property
-    def enabled(self) -> bool:
+    def timed_enabled(self) -> bool:
+        """True when any *timed* observer is configured (tracing,
+        sampling, latency attribution) — the ones that are meaningless
+        on the clock-free functional tier.  The flame profiler counts
+        events, not cycles, so it is deliberately excluded."""
         return (self.tracer.enabled or self.sample_interval > 0
                 or self.attribute_latency)
 
+    @property
+    def enabled(self) -> bool:
+        return self.timed_enabled or self.flame is not None
+
     def attach(self, sim: Simulator, stats: StatGroup) -> None:
-        """Bind live observers to a freshly built system (idempotent
-        per system; a hub must not be attached to two systems at once).
+        """Bind live observers to a freshly built system.
+
+        An enabled hub attaches exactly once; re-attaching raises
+        until :meth:`detach` releases the previous system.  The shared
+        disabled hub (:data:`OBS_OFF`) has nothing to bind, so every
+        system may keep attaching it freely.
         """
+        if not self.enabled:
+            return
+        if self._attached_to is not None:
+            raise RuntimeError(
+                "Observability hub is already attached to a system; "
+                "each enabled hub observes one system — call detach() "
+                "first, or build a fresh hub per run")
+        self._attached_to = sim
         if self.sample_interval > 0:
             self.sampler = MetricsSampler(sim, stats, self.sample_interval)
         if self.attribute_latency:
             self.latency = LatencyAttributor(sim, stats.child("latency"))
+        if self.flame is not None:
+            self.flame.instrument(sim)
+
+    def detach(self) -> None:
+        """Release the attached system so the hub can be reused.
+
+        Unhooks the flame profiler and drops the sampler/attributor
+        bindings; collected data (trace events, flame samples, the
+        last latency breakdown) survives for export.
+        """
+        if self.flame is not None:
+            self.flame.release()
+        self.sampler = None
+        self.latency = None
+        self._attached_to = None
 
     def start(self) -> None:
         """Arm run-time observers (called when the system starts)."""
@@ -65,12 +111,15 @@ def make_observability(trace_out: Optional[str] = None,
                        sample_interval: int = 1000,
                        trace_categories: Optional[str] = None,
                        attribute_latency: bool = False,
-                       trace_capacity: int = 1_000_000) -> Observability:
+                       trace_capacity: int = 1_000_000,
+                       flame_out: Optional[str] = None,
+                       flame_sample_every: int = 64) -> Observability:
     """Build a hub from CLI-flavoured options.
 
     ``trace_categories`` is a comma-separated list (``"dram,l2"``) or
     ``None`` for all categories.  Sampling is enabled whenever
-    ``metrics_out`` is given.
+    ``metrics_out`` is given; the deterministic flame profiler whenever
+    ``flame_out`` is.
     """
     if metrics_out and sample_interval < 1:
         raise ValueError(
@@ -86,6 +135,8 @@ def make_observability(trace_out: Optional[str] = None,
         tracer=tracer,
         sample_interval=sample_interval if metrics_out else 0,
         attribute_latency=attribute_latency,
+        flame=(FlameProfiler(sample_every=flame_sample_every)
+               if flame_out else None),
     )
 
 

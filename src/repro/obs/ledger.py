@@ -93,13 +93,17 @@ def record_from_result(result, *, label: str = "harness",
                        config=None, scale: Optional[float] = None,
                        seed: Optional[int] = None,
                        workload_params: Optional[Dict[str, Any]] = None,
-                       cached: bool = False) -> Dict[str, Any]:
+                       cached: bool = False,
+                       log_path: Optional[str] = None) -> Dict[str, Any]:
     """A ledger record for one finished
     :class:`~repro.core.results.RunResult`.
 
     ``config`` (a :class:`~repro.core.config.SystemConfig`) adds the
     content hash the persistent result cache would file this cell
     under — the strongest provenance link a record can carry.
+    ``log_path`` links the record to the structured log
+    (:mod:`repro.obs.structlog`) that narrates the run, so
+    ``obs history`` can point from a cell straight to its events.
 
     Functional-fidelity results are distinct cells: their records
     carry ``fidelity`` and an ``@functional``-suffixed cell id, so the
@@ -123,6 +127,8 @@ def record_from_result(result, *, label: str = "harness",
         "host_seconds": round(result.host_seconds, 4),
         "metrics": result.key_metrics(),
     }
+    if log_path:
+        record["log"] = str(log_path)
     if config is not None:
         from repro.analysis.result_cache import cache_key
 
@@ -143,7 +149,8 @@ def record_from_result(result, *, label: str = "harness",
 def record_from_cell(cell_result: Dict[str, Any], *,
                      label: str = "campaign",
                      scale: Optional[float] = None,
-                     seed: Optional[int] = None) -> Dict[str, Any]:
+                     seed: Optional[int] = None,
+                     log_path: Optional[str] = None) -> Dict[str, Any]:
     """A ledger record from a campaign worker's JSON result object.
 
     Subprocess workers report a summary (cycles, traffic,
@@ -162,7 +169,7 @@ def record_from_cell(cell_result: Dict[str, Any], *,
                                      + traffic.get("metadata_write", 0))
     workload = cell_result.get("workload", "?")
     scheme = cell_result.get("scheme", "?")
-    return {
+    record = {
         "kind": "run",
         "label": label,
         "workload": workload,
@@ -174,6 +181,36 @@ def record_from_cell(cell_result: Dict[str, Any], *,
         "host_seconds": cell_result.get("host_seconds", 0.0),
         "metrics": metrics,
     }
+    if log_path:
+        record["log"] = str(log_path)
+    return record
+
+
+def record_from_session(label: str, summary: Dict[str, Any], *,
+                        log_path: Optional[str] = None,
+                        progress_dir: Optional[str] = None
+                        ) -> Dict[str, Any]:
+    """A ``kind="session"`` record closing out one multi-cell run.
+
+    ``summary`` is the final progress summary
+    (:func:`repro.obs.progress.summary_dict`): cells
+    done/failed/cached, cache hit ratio, aggregate events/sec and wall
+    seconds.  One session record per ``compare``/``campaign``
+    invocation lets ``obs history`` show fleet-level outcomes and link
+    each run to its structured log and progress directory.
+    """
+    record: Dict[str, Any] = {
+        "kind": "session",
+        "label": label,
+        "cell": f"session/{label}",
+        "metrics": {k: v for k, v in summary.items()
+                    if isinstance(v, (int, float))},
+    }
+    if log_path:
+        record["log"] = str(log_path)
+    if progress_dir:
+        record["progress_dir"] = str(progress_dir)
+    return record
 
 
 def record_from_bench(payload: Dict[str, Any],

@@ -258,13 +258,33 @@ def _compare(scope: str, metric: str, base: float, current: Optional[float],
 
 def check(records: Sequence[Dict[str, Any]], baseline: Dict[str, Any],
           tolerances: Optional[Dict[str, float]] = None,
-          ignore_model_version: bool = False) -> RegressionReport:
+          ignore_model_version: bool = False,
+          log=None) -> RegressionReport:
     """Compare the latest ledger records against a baseline.
 
     ``tolerances`` (``{metric: rel_tol}``) overrides both the
     defaults and the bands stored in the baseline file.  A baseline
     cell with no matching ledger record breaches as ``missing``.
+    ``log`` (a :mod:`repro.obs.structlog` logger) narrates the check:
+    one ``regress.breach`` event per breached metric plus a final
+    ``regress.done`` verdict.
     """
+    from repro.obs.structlog import NULL_LOG
+
+    log = log if log is not None else NULL_LOG
+    report = _check(records, baseline, tolerances, ignore_model_version)
+    for row in report.breaches:
+        log.warn("regress.breach", scope=row.scope, metric=row.metric,
+                 baseline=row.baseline, current=row.current,
+                 status=row.status)
+    log.info("regress.done", ok=report.ok, rows=len(report.rows),
+             breaches=len(report.breaches))
+    return report
+
+
+def _check(records: Sequence[Dict[str, Any]], baseline: Dict[str, Any],
+           tolerances: Optional[Dict[str, float]],
+           ignore_model_version: bool) -> RegressionReport:
     report = RegressionReport()
     merged: Dict[str, float] = dict(baseline.get("tolerances") or {})
     if tolerances:

@@ -26,7 +26,11 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.progress import PROGRESS_ENV, ProgressWriter
+from repro.obs.structlog import (LOG_ENV, LOG_LEVEL_ENV, NullLog,
+                                 resolve_log, run_context)
 
 
 def build_cells(workloads: Sequence[str], schemes: Sequence[str],
@@ -103,7 +107,9 @@ class CampaignRunner:
                  timeout: Optional[float] = None, max_attempts: int = 2,
                  retry_backoff: float = 0.5,
                  python: Optional[str] = None,
-                 ledger=None):
+                 ledger=None,
+                 log: Union[None, bool, str, os.PathLike, NullLog] = None,
+                 progress_dir: Union[None, str, os.PathLike] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_attempts < 1:
@@ -114,6 +120,21 @@ class CampaignRunner:
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.python = python or sys.executable
+        #: Structured event log (:mod:`repro.obs.structlog`); workers
+        #: inherit it through ``REPRO_LOG`` so one file narrates the
+        #: whole campaign across processes.
+        self.log = resolve_log(log)
+        if self.log.enabled:
+            self.log = self.log.bind(**run_context(run="campaign",
+                                                   role="parent"))
+        #: Live progress channel (:mod:`repro.obs.progress`): the
+        #: parent journals plan/retry/timeout/failure transitions — it
+        #: is the authority on outcomes — while workers contribute
+        #: their own start/done records and heartbeats via
+        #: ``REPRO_PROGRESS_DIR``.
+        self.progress: Optional[ProgressWriter] = (
+            ProgressWriter(progress_dir, role="parent")
+            if progress_dir else None)
         #: Optional cross-run telemetry ledger
         #: (:class:`repro.obs.ledger.RunLedger`).  Subprocess workers
         #: cannot write it themselves — the parent appends one record
@@ -167,6 +188,12 @@ class CampaignRunner:
         existing = env.get("PYTHONPATH")
         env["PYTHONPATH"] = (src_dir if not existing
                              else src_dir + os.pathsep + existing)
+        # Telemetry channels cross the subprocess boundary by path.
+        if self.log.enabled:
+            env[LOG_ENV] = str(self.log.path)
+            env[LOG_LEVEL_ENV] = getattr(self.log, "level", "debug")
+        if self.progress is not None:
+            env[PROGRESS_ENV] = str(self.progress.dir)
         proc = subprocess.Popen(
             [self.python, "-m", "repro.resilience.worker"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
@@ -215,6 +242,7 @@ class CampaignRunner:
         human-readable status per event (spawn/done/fail/retry).
         """
         summary = CampaignSummary()
+        started_at = time.monotonic()
         done = self.completed_cells() if resume else {}
         if not resume and self.journal_path.exists():
             self.journal_path.unlink()
@@ -224,8 +252,17 @@ class CampaignRunner:
             if cell_id in done:
                 summary.skipped.append(cell_id)
                 summary.records[cell_id] = done[cell_id]
+                if self.progress is not None:
+                    # Resumed cells are resolved without simulation —
+                    # the campaign analogue of a cache hit.
+                    self.progress.cell(cell_id, "cached")
                 continue
             pending.append((0.0, 1, cell))
+        if self.progress is not None:
+            self.progress.plan(len(cells), label="campaign")
+        self.log.info("campaign.start", cells=len(cells),
+                      skipped=len(summary.skipped), workers=self.workers,
+                      journal=str(self.journal_path))
         self.journal_path.parent.mkdir(parents=True, exist_ok=True)
         self._journal_fh = self.journal_path.open("a")
         running: List[_Running] = []
@@ -242,6 +279,9 @@ class CampaignRunner:
                     _nb, attempt, cell = pending.pop(due)
                     run = self._spawn(cell, attempt)
                     running.append(run)
+                    self.log.info("campaign.worker.spawn",
+                                  cell=cell["cell"], attempt=attempt,
+                                  worker_pid=run.proc.pid)
                     say(f"start {cell['cell']} (attempt {attempt})")
                 # Poll in-flight workers.
                 still: List[_Running] = []
@@ -257,6 +297,11 @@ class CampaignRunner:
                         run.proc.communicate()
                         result = {"status": "error",
                                   "error": f"timeout after {self.timeout}s"}
+                        self.log.warn("campaign.worker.timeout",
+                                      cell=run.cell["cell"],
+                                      attempt=run.attempt,
+                                      worker_pid=run.proc.pid,
+                                      timeout=self.timeout)
                     else:
                         result = self._harvest(run)
                     elapsed = round(time.monotonic() - run.started, 3)
@@ -268,6 +313,8 @@ class CampaignRunner:
                         summary.done.append(cell_id)
                         summary.records[cell_id] = result
                         self._ledger_append(run.cell, result)
+                        self.log.info("campaign.cell.done", cell=cell_id,
+                                      attempts=run.attempt, elapsed=elapsed)
                         say(f"done  {cell_id} ({elapsed}s)")
                         continue
                     error = result.get("error", "unknown failure")
@@ -279,6 +326,12 @@ class CampaignRunner:
                                        "error": error, "retry_in": delay})
                         pending.append((time.monotonic() + delay,
                                         run.attempt + 1, run.cell))
+                        self.log.warn("campaign.cell.retry", cell=cell_id,
+                                      attempt=run.attempt, error=error,
+                                      retry_in=delay)
+                        if self.progress is not None:
+                            self.progress.cell(cell_id, "retry", error=error,
+                                               attempt=run.attempt + 1)
                         say(f"retry {cell_id}: {error} "
                             f"(attempt {run.attempt + 1} in {delay}s)")
                     else:
@@ -288,6 +341,11 @@ class CampaignRunner:
                         self._journal(record)
                         summary.failed.append(cell_id)
                         summary.records[cell_id] = record
+                        self.log.error("campaign.cell.failed", cell=cell_id,
+                                       attempts=run.attempt, error=error)
+                        if self.progress is not None:
+                            self.progress.cell(cell_id, "failed",
+                                               error=error)
                         say(f"FAIL  {cell_id}: {error}")
                 running = still
                 if pending or running:
@@ -301,4 +359,30 @@ class CampaignRunner:
                     pass
             self._journal_fh.close()
             self._journal_fh = None
+        wall_seconds = round(time.monotonic() - started_at, 3)
+        self.log.info("campaign.done", done=len(summary.done),
+                      failed=len(summary.failed),
+                      skipped=len(summary.skipped),
+                      wall_seconds=wall_seconds)
+        self._session_record(summary, wall_seconds)
         return summary
+
+    def _session_record(self, summary: CampaignSummary,
+                        wall_seconds: float) -> None:
+        """One ``kind="session"`` ledger record closing the campaign,
+        linking it to its structured log and progress directory."""
+        if self.ledger is None:
+            return
+        from repro.obs.ledger import record_from_session
+
+        self.ledger.safe_append(record_from_session(
+            "campaign",
+            {"cells_total": (len(summary.done) + len(summary.failed)
+                             + len(summary.skipped)),
+             "cells_done": len(summary.done),
+             "cells_failed": len(summary.failed),
+             "cells_cached": len(summary.skipped),
+             "wall_seconds": wall_seconds},
+            log_path=str(self.log.path) if self.log.enabled else None,
+            progress_dir=(str(self.progress.dir)
+                          if self.progress is not None else None)))

@@ -41,10 +41,33 @@ from repro.analysis.harness import bench_config, bench_gen_ctx
 from repro.core.config import ResilienceConfig
 from repro.core.results import RunResult
 from repro.core.system import GpuSystem
+from repro.obs.progress import (PROGRESS_ENV, HeartbeatThread, ProgressWriter,
+                                heartbeat_interval)
+from repro.obs.structlog import StructLog, resolve_log, run_context
 from repro.resilience.faults import make_process
 from repro.resilience.recovery import RecoveryPolicy
 from repro.sim.engine import Watchdog
 from repro.workloads import make_workload
+
+
+def _cell_telemetry(spec: Dict[str, Any], cell_id: str):
+    """Resolve the telemetry channels a cell spec (or the environment)
+    points this worker at.
+
+    Pool specs carry ``log``/``log_level``/``progress_dir`` keys;
+    campaign subprocesses inherit ``REPRO_LOG`` / ``REPRO_PROGRESS_DIR``
+    from the parent.  Returns ``(log, progress_writer_or_None)``.
+    """
+    if spec.get("log"):
+        log = StructLog(spec["log"], level=spec.get("log_level", "debug"))
+    else:
+        log = resolve_log(None)  # environment default
+    if log.enabled:
+        log = log.bind(**run_context(cell=cell_id, role="worker"))
+    progress_dir = spec.get("progress_dir") or os.environ.get(PROGRESS_ENV)
+    progress = (ProgressWriter(progress_dir, role="worker")
+                if progress_dir else None)
+    return log, progress
 
 
 def build_cell_config(spec: Dict[str, Any]):
@@ -79,33 +102,65 @@ def run_cell_result(spec: Dict[str, Any]) -> "RunResult":
     otherwise the config is reconstructed from the JSON fields via
     :func:`build_cell_config`.
     """
+    cell_id = spec.get("cell",
+                       f"{spec.get('workload', '?')}/{spec.get('scheme', '?')}")
+    log, progress = _cell_telemetry(spec, cell_id)
     sabotage = spec.get("sabotage")
-    if sabotage == "hang":
-        time.sleep(3600)
-    elif sabotage == "crash":
-        os._exit(13)
+    log.info("worker.cell.start", sabotage=sabotage)
+    heartbeat = None
+    if progress is not None:
+        # Lifecycle + liveness: the start record marks the cell
+        # in-flight, the heartbeat thread keeps this pid fresh; a hang
+        # from here on shows up as a stale worker in `obs top`.
+        progress.cell(cell_id, "start")
+        heartbeat = HeartbeatThread(progress, heartbeat_interval()).start()
+    try:
+        if sabotage == "hang":
+            time.sleep(3600)
+        elif sabotage == "crash":
+            os._exit(13)
 
-    config = spec.get("config")
-    if config is None:
-        config = build_cell_config(spec)
-    system = GpuSystem(config)
-    workload = make_workload(spec["workload"],
-                             **spec.get("workload_params", {}))
-    gen_ctx = bench_gen_ctx(config, scale=spec.get("scale", 0.3),
-                            seed=spec.get("seed", 42))
-    system.load_workload(workload, gen_ctx)
+        config = spec.get("config")
+        if config is None:
+            config = build_cell_config(spec)
+        system = GpuSystem(config)
+        workload = make_workload(spec["workload"],
+                                 **spec.get("workload_params", {}))
+        gen_ctx = bench_gen_ctx(config, scale=spec.get("scale", 0.3),
+                                seed=spec.get("seed", 42))
+        system.load_workload(workload, gen_ctx)
 
-    if sabotage == "livelock":
-        def spin() -> None:
-            """Reschedule forever at the same cycle (watchdog bait)."""
+        if sabotage == "livelock":
+            def spin() -> None:
+                """Reschedule forever at the same cycle (watchdog bait)."""
+                system.sim.schedule(0, spin)
             system.sim.schedule(0, spin)
-        system.sim.schedule(0, spin)
 
-    watchdog = Watchdog(max_wall_seconds=spec.get("max_wall_seconds"))
-    started = time.perf_counter()
-    cycles = system.run(max_events=spec.get("max_events"), watchdog=watchdog)
-    host_seconds = time.perf_counter() - started
-    return system.result(workload.name, cycles, host_seconds)
+        watchdog = Watchdog(max_wall_seconds=spec.get("max_wall_seconds"))
+        started = time.perf_counter()
+        cycles = system.run(max_events=spec.get("max_events"),
+                            watchdog=watchdog)
+        host_seconds = time.perf_counter() - started
+        result = system.result(workload.name, cycles, host_seconds)
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        if "watchdog" in str(exc):
+            log.warn("worker.watchdog_fire", error=error)
+        log.error("worker.cell.failed", error=error)
+        if progress is not None:
+            progress.cell(cell_id, "failed", error=error)
+        raise
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+    log.info("worker.cell.done", cycles=result.cycles,
+             events=int(result.events_executed),
+             host_seconds=round(result.host_seconds, 3))
+    if progress is not None:
+        progress.cell(cell_id, "done",
+                      events=int(result.events_executed),
+                      host_seconds=round(result.host_seconds, 3))
+    return result
 
 
 def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:

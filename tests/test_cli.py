@@ -313,3 +313,97 @@ def test_compare_no_ledger_writes_nothing(tmp_path, capsys, monkeypatch):
                "--no-cache", "--no-ledger"])
     assert rc == 0
     assert not (tmp_path / "ledger.jsonl").exists()
+
+# -- live telemetry / structured logs -----------------------------------------
+
+
+def test_run_log_out_writes_lifecycle_events(tmp_path, capsys):
+    import json
+
+    log = tmp_path / "run.log.jsonl"
+    rc = main(["run", "-w", "vecadd", "-s", "none", "--scale", "0.03",
+               "--l2-kb", "256", "--log-out", str(log)])
+    assert rc == 0
+    records = [json.loads(line) for line in open(log) if line.strip()]
+    events = [r["event"] for r in records]
+    assert events[0] == "run.start" and events[-1] == "run.done"
+    done = records[-1]
+    assert done["cell"] == "vecadd/none"
+    assert done["run"] == "cli.run"
+    assert done["cycles"] > 0 and done["events"] > 0
+
+
+def test_compare_live_single_frame_and_session_record(tmp_path, capsys):
+    import json
+
+    ledger = tmp_path / "ledger.jsonl"
+    log = tmp_path / "cmp.log.jsonl"
+    progress = tmp_path / "progress"
+    rc = main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache",
+               "--ledger", str(ledger), "--log-out", str(log),
+               "--live", "--live-interval", "0",
+               "--progress-dir", str(progress)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # The final dashboard frame reports real fleet state.
+    assert "6/6 cells" in out
+    assert "done 6" in out
+    assert "cache hit ratio" in out and "eta" in out
+    # Cell lifecycle came over the progress channel.
+    assert any(progress.glob("*.jsonl"))
+    # The session record links the run to its log + progress artifacts.
+    records = [json.loads(line) for line in open(ledger) if line.strip()]
+    sessions = [r for r in records if r.get("kind") == "session"]
+    assert len(sessions) == 1
+    assert sessions[0]["metrics"]["cells_done"] == 6
+    assert sessions[0]["log"] == str(log)
+    assert sessions[0]["progress_dir"] == str(progress)
+    # Run records link to the log too.
+    runs = [r for r in records if r.get("kind") == "run"]
+    assert runs and all(r.get("log") == str(log) for r in runs)
+    # The structured log saw each cell run.
+    log_events = [json.loads(line)["event"] for line in open(log)
+                  if line.strip()]
+    assert log_events.count("cell.start") == 6
+    assert log_events.count("cell.done") == 6
+
+
+def test_obs_history_json_stable_key_order(seeded_ledger, capsys):
+    import json
+
+    capsys.readouterr()
+    assert main(["obs", "history", "--ledger", seeded_ledger,
+                 "--json"]) == 0
+    for line in capsys.readouterr().out.splitlines():
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+
+def test_obs_diff_json_stable_key_order(seeded_ledger, capsys):
+    import json
+
+    ids = [json.loads(line)["run_id"]
+           for line in open(seeded_ledger) if line.strip()]
+    capsys.readouterr()
+    assert main(["obs", "diff", ids[0][:8], ids[-1][:8], "--json",
+                 "--ledger", seeded_ledger]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out)
+    assert list(doc) == ["a", "b", "rows"]
+    assert list(doc["a"]) == sorted(doc["a"])
+    assert all(list(row) == sorted(row) for row in doc["rows"])
+    assert any(row["metric"] == "cycles" for row in doc["rows"])
+    # Byte-stable: re-serializing with sorted keys is the identity.
+    assert json.dumps(doc, sort_keys=True) == out.strip()
+
+
+def test_obs_history_kind_session_filter(tmp_path, capsys):
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["compare", "-w", "vecadd", "--scale", "0.03", "--no-cache",
+                 "--ledger", str(ledger), "--live", "--live-interval", "0",
+                 "--progress-dir", str(tmp_path / "prog")]) == 0
+    capsys.readouterr()
+    assert main(["obs", "history", "--ledger", str(ledger),
+                 "--kind", "session"]) == 0
+    out = capsys.readouterr().out
+    assert "session/cli.compare" in out

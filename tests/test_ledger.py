@@ -234,6 +234,36 @@ class TestRecordBuilders:
                                   "sim_events_per_sec": 200}
         assert rec["bench"] is payload
 
+    def test_record_from_result_links_log_path(self, small_config,
+                                               tiny_gen):
+        harness = ExperimentHarness(small_config, scale=tiny_gen.scale,
+                                    seed=tiny_gen.seed, ledger=False)
+        result = harness.run("vecadd", "none")
+        rec = record_from_result(result, label="t", config=small_config,
+                                 scale=tiny_gen.scale, seed=tiny_gen.seed,
+                                 log_path="/tmp/run.log.jsonl")
+        assert rec["log"] == "/tmp/run.log.jsonl"
+        bare = record_from_result(result, label="t", config=small_config,
+                                  scale=tiny_gen.scale, seed=tiny_gen.seed)
+        assert "log" not in bare
+
+    def test_record_from_session_summarizes_fleet(self):
+        from repro.obs.ledger import record_from_session
+
+        summary = {"cells_total": 6, "cells_done": 5, "cells_failed": 1,
+                   "cells_cached": 0, "cache_hit_ratio": 0.0,
+                   "wall_seconds": 12.5, "note": "not-a-metric"}
+        rec = record_from_session("campaign", summary,
+                                  log_path="/tmp/c.log.jsonl",
+                                  progress_dir="/tmp/prog")
+        assert rec["kind"] == "session"
+        assert rec["cell"] == "session/campaign"
+        assert rec["label"] == "campaign"
+        assert rec["metrics"]["cells_done"] == 5
+        assert "note" not in rec["metrics"]  # numeric metrics only
+        assert rec["log"] == "/tmp/c.log.jsonl"
+        assert rec["progress_dir"] == "/tmp/prog"
+
 
 # -- harness integration ------------------------------------------------------
 
@@ -306,9 +336,15 @@ class TestCampaignLedger:
                                          scale=0.04, seed=7))
         assert summary.ok
         records = ledger.records()
-        assert sorted(r["cell"] for r in records) == ["vecadd/cachecraft",
-                                                      "vecadd/none"]
-        for rec in records:
+        runs = [r for r in records if r["kind"] == "run"]
+        assert sorted(r["cell"] for r in runs) == ["vecadd/cachecraft",
+                                                   "vecadd/none"]
+        for rec in runs:
             assert rec["label"] == "campaign"
             assert rec["metrics"]["cycles"] > 0
             assert rec["metrics"]["total_dram_bytes"] > 0
+        # The campaign also records one session summary for `obs history`.
+        (session,) = [r for r in records if r["kind"] == "session"]
+        assert session["cell"] == "session/campaign"
+        assert session["metrics"]["cells_done"] == 2
+        assert session["metrics"]["wall_seconds"] >= 0

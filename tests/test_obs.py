@@ -339,6 +339,32 @@ class TestObservabilityHub:
         obs.attach(Simulator(), StatsRegistry())
         assert obs.latency is not None
 
+    def test_enabled_hub_rejects_second_attach(self):
+        obs = Observability(attribute_latency=True)
+        obs.attach(Simulator(), StatsRegistry())
+        with pytest.raises(RuntimeError, match="already attached"):
+            obs.attach(Simulator(), StatsRegistry())
+
+    def test_detach_allows_reattach(self):
+        obs = Observability(attribute_latency=True)
+        obs.attach(Simulator(), StatsRegistry())
+        obs.detach()
+        obs.attach(Simulator(), StatsRegistry())  # no raise
+        assert obs.latency is not None
+
+    def test_disabled_hub_attach_is_repeatable(self):
+        # OBS_OFF is shared by every GpuSystem: the single-attach
+        # contract must only bind hubs that actually observe.
+        obs = Observability()
+        obs.attach(Simulator(), StatsRegistry())
+        obs.attach(Simulator(), StatsRegistry())  # no raise
+
+    def test_flame_hub_counts_as_enabled_but_not_timed(self):
+        from repro.obs.flame import FlameProfiler
+
+        obs = Observability(flame=FlameProfiler())
+        assert obs.enabled and not obs.timed_enabled
+
 
 # -- profile rendering -------------------------------------------------------
 
