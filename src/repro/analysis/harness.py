@@ -241,13 +241,19 @@ class ExperimentHarness:
                      max_attempts: int = 2, resume: bool = True,
                      resilience: Optional[dict] = None,
                      max_events: Optional[int] = None,
+                     retry_backoff: float = 0.5,
+                     retry_backoff_max: float = 30.0,
+                     degrade: bool = False,
                      progress=None):
         """Run the workload x scheme grid in isolated subprocess workers.
 
         Unlike :meth:`matrix` this survives crashed or hung cells: each
-        runs in its own process with a timeout, failures are retried
-        then reported, and the JSONL journal at ``journal_path`` lets a
-        killed campaign resume with only the unfinished cells.  Returns
+        runs in its own process with a timeout, failures are classified
+        (transient / persistent / crash-looping) and retried with
+        jittered backoff or quarantined, and the JSONL journal at
+        ``journal_path`` lets a killed campaign resume with only the
+        unfinished cells.  ``degrade=True`` rescues a cell that
+        exhausts its budget with one functional-tier attempt.  Returns
         a :class:`repro.resilience.campaign.CampaignSummary`.
         """
         # Imported lazily: campaign pulls in subprocess machinery that
@@ -267,7 +273,9 @@ class ExperimentHarness:
             max_wall_seconds=self.max_wall_seconds)
         runner = CampaignRunner(
             journal_path, workers=workers, timeout=timeout,
-            max_attempts=max_attempts, ledger=self.ledger, log=self.log,
+            max_attempts=max_attempts, retry_backoff=retry_backoff,
+            retry_backoff_max=retry_backoff_max, degrade=degrade,
+            ledger=self.ledger, log=self.log,
             progress_dir=(self.progress.dir if self.progress is not None
                           else None))
         return runner.run(cells, resume=resume, progress=progress)

@@ -22,8 +22,13 @@ addressable and are swept by :meth:`ResultCache.clear`.
 
 Layout: ``<dir>/<key[:2]>/<key>.json`` (two-level fan-out keeps any
 one directory small).  Writes are atomic (tempfile + rename), so a
-killed run never leaves a torn entry; unreadable entries are treated
-as misses.
+killed run never leaves a torn entry.  Entries carry a blake2b
+``checksum`` (entries from before the field existed load unverified);
+an entry that fails to parse, fails its checksum, or decodes to
+garbage is **quarantined** — renamed to ``<key>.bad`` on first
+detection — so one corrupted file costs one miss, not a re-parse on
+every future lookup.  ``repro fsck`` scans and reports quarantined
+and corrupt entries; truly missing/stale entries stay plain misses.
 """
 
 from __future__ import annotations
@@ -97,6 +102,29 @@ def cache_key(workload: str, config: SystemConfig, scale: float, seed: int,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _active_chaos():
+    """Late import of :func:`repro.resilience.chaos.active_chaos` —
+    the chaos seam must not make analysis depend on resilience at
+    import time."""
+    from repro.resilience.chaos import active_chaos
+
+    return active_chaos()
+
+
+def entry_checksum(entry: Dict[str, Any]) -> str:
+    """Integrity checksum of one on-disk cache entry: blake2b over its
+    canonical JSON form with the ``checksum`` field itself excluded.
+
+    Stored by :meth:`ResultCache.put` and verified by
+    :meth:`ResultCache.get`; entries written before the field existed
+    (no ``checksum`` key) load unverified, so the format is additive
+    and :data:`CACHE_FORMAT` does not bump.
+    """
+    body = {k: v for k, v in entry.items() if k != "checksum"}
+    canon = json.dumps(body, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.blake2b(canon, digest_size=8).hexdigest()
+
+
 class ResultCache:
     """Content-addressed on-disk store of :class:`RunResult` objects."""
 
@@ -108,6 +136,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Corrupt entries renamed to ``.bad`` / failed stores.
+        self.quarantined = 0
+        self.store_errors = 0
         #: Structured logger (:mod:`repro.obs.structlog`); hit/miss/
         #: stale/store events are emitted at debug level.  Assignable
         #: after construction — the harness points a shared cache at
@@ -128,15 +159,42 @@ class ResultCache:
 
     # -- load/store ---------------------------------------------------------
 
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Park a corrupt entry as ``<key>.bad``: one miss, then out
+        of the lookup path forever (instead of re-parsing the same
+        broken bytes on every get).  ``repro fsck`` reports the
+        quarantined sibling; ``cache clear`` removes it."""
+        try:
+            path.rename(path.with_suffix(".bad"))
+        except OSError:
+            return  # raced with a concurrent quarantine/clear: fine
+        self.quarantined += 1
+        self.log.warn("cache.quarantine", key=key[:12], reason=reason)
+
     def get(self, key: str) -> Optional[RunResult]:
-        """Fetch a stored result; None on miss or unreadable entry."""
+        """Fetch a stored result; None on miss, stale entry, or
+        corruption (which also quarantines the entry to ``.bad``)."""
         path = self._path(key)
         try:
             with path.open() as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             self.log.debug("cache.miss", key=key[:12])
+            return None
+        except ValueError:
+            # The file exists but is not JSON: torn or bit-rotted.
+            self._quarantine(path, key, "unparseable entry")
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path, key, "non-object entry")
+            self.misses += 1
+            return None
+        stored_ck = entry.get("checksum")
+        if stored_ck is not None and stored_ck != entry_checksum(entry):
+            self._quarantine(path, key, "checksum mismatch")
+            self.misses += 1
             return None
         # Defense in depth: the version is in the key already, but a
         # hand-copied or corrupted entry must still never satisfy a
@@ -150,20 +208,20 @@ class ResultCache:
             return None
         try:
             result = RunResult.from_dict(entry["result"])
-        except (KeyError, TypeError):
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path, key, "undecodable result payload")
             self.misses += 1
-            self.log.debug("cache.stale", key=key[:12],
-                           reason="undecodable result payload")
             return None
         self.hits += 1
         self.log.debug("cache.hit", key=key[:12])
         return result
 
     def put(self, key: str, result: RunResult,
-            meta: Optional[Dict[str, Any]] = None) -> Path:
-        """Store a result atomically; returns the entry path."""
+            meta: Optional[Dict[str, Any]] = None) -> Optional[Path]:
+        """Store a result atomically; returns the entry path, or None
+        when the store failed (a full disk must cost a future
+        re-simulation, never the run in hand)."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "format": CACHE_FORMAT,
             "model_version": MODEL_VERSION,
@@ -171,38 +229,53 @@ class ResultCache:
             "meta": meta or {},
             "result": result.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        entry["checksum"] = entry_checksum(entry)
+        blob = json.dumps(entry, sort_keys=True).encode("utf-8")
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(entry, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+            chaos = _active_chaos()
+            if chaos is not None:
+                blob = chaos.mangle_cache_entry(key, blob)  # may raise
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self.store_errors += 1
+            self.log.warn("cache.store_failed", key=key[:12],
+                          error=str(exc))
+            return None
         self.stores += 1
         self.log.debug("cache.store", key=key[:12])
         return path
 
     # -- maintenance ---------------------------------------------------------
 
-    def _entries(self):
+    def _entries(self, pattern: str = "*.json"):
         if not self.dir.is_dir():
             return
         for sub in sorted(self.dir.iterdir()):
             if sub.is_dir() and len(sub.name) == 2:
-                yield from sorted(sub.glob("*.json"))
+                yield from sorted(sub.glob(pattern))
 
     def stats(self) -> Dict[str, Any]:
         """``{dir, entries, bytes, current_model_entries,
-        by_model_version}`` for the ``cache stats`` CLI subcommand.
+        quarantined_entries, by_model_version}`` for the
+        ``cache stats`` CLI subcommand.
 
         ``by_model_version`` maps each model version found on disk to
         its ``{entries, bytes}`` footprint, so stale generations (and
         what ``cache clear --stale`` would reclaim) are visible at a
-        glance.  Unreadable entries are bucketed under ``"?"``.
+        glance.  Unreadable entries are bucketed under ``"?"``;
+        ``quarantined_entries`` counts the ``.bad`` siblings corrupt
+        entries were parked under.
         """
         entries = 0
         nbytes = 0
@@ -225,16 +298,22 @@ class ResultCache:
                                            {"entries": 0, "bytes": 0})
             bucket["entries"] += 1
             bucket["bytes"] += size
+        quarantined = sum(1 for _ in self._entries("*.bad"))
         return {"dir": str(self.dir), "entries": entries, "bytes": nbytes,
                 "current_model_entries": current,
+                "quarantined_entries": quarantined,
                 "model_version": MODEL_VERSION,
                 "by_model_version": by_version}
 
     def clear(self, stale_only: bool = False) -> int:
         """Delete entries (all, or only those from other model
-        versions); returns how many were removed."""
+        versions; a full clear also sweeps quarantined ``.bad``
+        siblings); returns how many were removed."""
         removed = 0
-        for path in list(self._entries()):
+        targets = list(self._entries())
+        if not stale_only:
+            targets += list(self._entries("*.bad"))
+        for path in targets:
             if stale_only:
                 try:
                     with path.open() as fh:

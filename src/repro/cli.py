@@ -27,6 +27,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -316,6 +317,22 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default 300)")
     camp_p.add_argument("--max-attempts", type=int, default=2,
                         help="attempts per cell before reporting failure")
+    camp_p.add_argument("--retry-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base retry delay; grows exponentially with "
+                             "deterministic per-cell jitter (default 0.5)")
+    camp_p.add_argument("--retry-backoff-max", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="cap on the exponential retry delay "
+                             "(default 30)")
+    camp_p.add_argument("--degrade", action="store_true",
+                        help="rescue a cell that exhausts its attempts "
+                             "with one functional-tier (counters-only) "
+                             "attempt, flagged in provenance")
+    camp_p.add_argument("--chaos-policy", default=None, metavar="FILE",
+                        help="host-fault injection policy (JSON file or "
+                             "inline JSON); also honored via the "
+                             "REPRO_CHAOS environment variable")
     camp_p.add_argument("--max-events", type=int, default=50_000_000,
                         help="per-cell engine event budget")
     camp_p.add_argument("--no-resume", action="store_true",
@@ -337,6 +354,31 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_ledger_args(camp_p)
     _add_log_args(camp_p)
     _add_live_args(camp_p)
+
+    fsck_p = sub.add_parser(
+        "fsck", help="scan (and optionally repair) the on-disk stores: "
+                     "result cache, ledger + index, journals, logs, "
+                     "progress files")
+    fsck_p.add_argument("--repair", action="store_true",
+                        help="heal what is safely healable: truncate torn "
+                             "tails, drop corrupt records, quarantine bad "
+                             "cache entries, rebuild stale indexes, "
+                             "release journal quarantines")
+    fsck_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    fsck_p.add_argument("--ledger", default=None, metavar="FILE",
+                        help="ledger path (default: $REPRO_LEDGER or "
+                             "<cache dir>/ledger.jsonl)")
+    fsck_p.add_argument("--journal", action="append", default=[],
+                        metavar="FILE",
+                        help="campaign journal to scan (repeatable)")
+    fsck_p.add_argument("--log", default=None, metavar="FILE",
+                        help="structured log to scan")
+    fsck_p.add_argument("--progress-dir", default=None, metavar="DIR",
+                        help="progress directory to scan")
+    fsck_p.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
 
     obs_p = sub.add_parser(
         "obs", help="cross-run telemetry: ledger history, regression "
@@ -627,6 +669,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if stale:
             print(f"stale entries: {stale} "
                   "(run `cache clear --stale-only` to drop them)")
+        if stats["quarantined_entries"]:
+            print(f"quarantined entries: {stats['quarantined_entries']} "
+                  "(.bad siblings; `cache clear` removes, "
+                  "`repro fsck` reports)")
         from repro.workloads.base import trace_cache_stats
 
         memo = trace_cache_stats()
@@ -748,6 +794,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                         seed=args.seed, protection=protection,
                         resilience=resilience, max_events=args.max_events,
                         sabotage=sabotage or None)
+    if args.chaos_policy:
+        from repro.resilience.chaos import CHAOS_ENV, ChaosPolicy
+
+        try:
+            policy = ChaosPolicy.load(args.chaos_policy)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: bad --chaos-policy {args.chaos_policy!r}: {exc}")
+        # Export through the environment so subprocess workers inherit
+        # the same policy (and the append seams in this process arm).
+        os.environ[CHAOS_ENV] = args.chaos_policy
+        print(f"chaos policy armed: {policy.to_json()}")
     log = _log_from_args(args)
     progress_dir = args.progress_dir
     if progress_dir is None and args.live:
@@ -757,6 +815,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     runner = CampaignRunner(args.journal, workers=args.workers,
                             timeout=args.timeout,
                             max_attempts=args.max_attempts,
+                            retry_backoff=args.retry_backoff,
+                            retry_backoff_max=args.retry_backoff_max,
+                            degrade=args.degrade,
                             ledger=_ledger_from_args(args),
                             log=log, progress_dir=progress_dir)
     renderer = None
@@ -783,20 +844,63 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         record = summary.records.get(cell_id, {})
         if cell_id in summary.skipped:
             status = "skipped (journal)"
+        elif cell_id in summary.quarantined:
+            status = "QUARANTINED"
         elif cell_id in summary.failed:
             status = "FAILED"
+        elif cell_id in summary.degraded:
+            status = "done (degraded)"
         else:
             status = "done"
         detail = record.get("error", "") or ""
         if not detail and record.get("cycles") is not None:
             detail = f"{record['cycles']} cycles"
         rows.append([cell_id, status, detail])
-    print(format_table(["cell", "status", "detail"], rows,
-                       title=f"campaign: {len(summary.done)} done, "
-                             f"{len(summary.skipped)} skipped, "
-                             f"{len(summary.failed)} failed"))
+    title = (f"campaign: {len(summary.done)} done, "
+             f"{len(summary.skipped)} skipped, "
+             f"{len(summary.failed)} failed")
+    if summary.quarantined:
+        title += f", {len(summary.quarantined)} quarantined"
+    print(format_table(["cell", "status", "detail"], rows, title=title))
     print(f"journal: {args.journal}")
+    if summary.quarantined:
+        print(f"quarantined cells stay parked on resume; "
+              f"`repro fsck --repair --journal {args.journal}` releases "
+              f"them")
     return 0 if summary.ok else 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.resilience.fsck import fsck_all
+
+    report = fsck_all(cache_dir=args.cache_dir, ledger=args.ledger,
+                      journals=args.journal, log=args.log,
+                      progress_dir=args.progress_dir, repair=args.repair)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    if report.issues:
+        rows = []
+        for issue in report.issues:
+            state = ("repaired" if issue.repaired
+                     else "repairable" if issue.repairable else issue.severity)
+            rows.append([issue.store, issue.kind, state,
+                         f"{issue.path}: {issue.detail}"])
+        print(format_table(["store", "kind", "state", "detail"], rows,
+                           title=f"fsck: {len(report.issues)} issue(s)"))
+    scanned = ", ".join(f"{store} {n}" for store, n
+                        in sorted(report.scanned.items())) or "nothing"
+    print(f"scanned: {scanned}")
+    if report.ok:
+        print("fsck: clean" if not report.issues
+              else "fsck: clean (all error-severity issues repaired)")
+        return 0
+    unrepaired = len(report.unrepaired)
+    print(f"fsck: {unrepaired} unrepaired issue(s)"
+          + ("" if args.repair else " (re-run with --repair to heal)"))
+    return 1
 
 
 def _parse_tolerances(items) -> dict:
@@ -1048,6 +1152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "trace":

@@ -39,6 +39,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.structlog import append_jsonl, read_jsonl
+
 #: On-disk record format; bump on incompatible schema changes.
 LEDGER_FORMAT = 1
 
@@ -157,6 +159,12 @@ def record_from_cell(cell_result: Dict[str, Any], *,
     host_seconds) rather than a full ``RunResult``; the parent builds
     the ledger record from it on receipt, so campaign cells leave the
     same cross-run trail as in-process ones.
+
+    A cell rescued by the runner's graceful-degradation hook (rerun
+    on the functional tier after the event tier kept dying) carries
+    ``fidelity`` and ``degraded`` plus the ``@functional`` cell-id
+    suffix — the same never-conflate rule as
+    :func:`record_from_result`.
     """
     traffic = {k: int(v) for k, v in
                (cell_result.get("traffic") or {}).items()}
@@ -169,18 +177,25 @@ def record_from_cell(cell_result: Dict[str, Any], *,
                                      + traffic.get("metadata_write", 0))
     workload = cell_result.get("workload", "?")
     scheme = cell_result.get("scheme", "?")
+    fidelity = cell_result.get("fidelity", "event")
+    cell = cell_result.get("cell", f"{workload}/{scheme}")
+    if fidelity != "event" and not cell.endswith(f"@{fidelity}"):
+        cell += f"@{fidelity}"
     record = {
         "kind": "run",
         "label": label,
         "workload": workload,
         "scheme": scheme,
-        "cell": cell_result.get("cell", f"{workload}/{scheme}"),
+        "fidelity": fidelity,
+        "cell": cell,
         "cached": False,
         "scale": scale,
         "seed": seed,
         "host_seconds": cell_result.get("host_seconds", 0.0),
         "metrics": metrics,
     }
+    if cell_result.get("degraded"):
+        record["degraded"] = True
     if log_path:
         record["log"] = str(log_path)
     return record
@@ -262,10 +277,11 @@ class RunLedger:
 
         Provenance defaults (``ts``, ``git_sha``, ``model_version``,
         ``format``) are stamped here so every caller's records are
-        comparable.  The write is a single ``O_APPEND`` ``write()`` of
-        one complete line; if the current tail is torn (no trailing
-        newline), a newline is prepended so the fragment stays
-        skippable instead of corrupting this record too.
+        comparable.  The write itself goes through the shared
+        :func:`~repro.obs.structlog.append_jsonl` seam — one atomic
+        ``O_APPEND`` line, checksummed, torn-tail healing — so the
+        ledger, journal, log and progress stores share one durability
+        (and one chaos-injection) path.
         """
         from repro.core.results import MODEL_VERSION
 
@@ -275,23 +291,12 @@ class RunLedger:
         rec.setdefault("git_sha", git_sha())
         rec.setdefault("model_version", MODEL_VERSION)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        prev_size, torn_tail = self._tail_state()
+        prev_size, _torn_tail = self._tail_state()
         rec.setdefault("run_id", hashlib.blake2s(
             f"{rec['ts']}|{prev_size}|{json.dumps(rec, sort_keys=True, default=str)}"
             .encode("utf-8"), digest_size=6).hexdigest())
-        data = (json.dumps(rec, sort_keys=True, default=str) + "\n")\
-            .encode("utf-8")
-        if torn_tail:
-            data = b"\n" + data
-        fd = os.open(self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY,
-                     0o644)
-        try:
-            os.write(fd, data)
-            if self.fsync:
-                os.fsync(fd)
-        finally:
-            os.close(fd)
-        self._update_index(rec, prev_size, prev_size + len(data))
+        written = append_jsonl(self.path, rec, fsync=self.fsync)
+        self._update_index(rec, prev_size, prev_size + written)
         return rec["run_id"]
 
     def safe_append(self, record: Dict[str, Any]) -> Optional[str]:
@@ -322,26 +327,12 @@ class RunLedger:
     def records(self) -> List[Dict[str, Any]]:
         """All readable records, oldest first.
 
-        Unparseable lines (the torn tail of a killed process) are
-        skipped, mirroring the campaign journal's tolerance.
+        Unparseable lines (the torn tail of a killed process) and
+        checksum-failing lines (corrupted in place) are skipped via
+        the shared :func:`~repro.obs.structlog.read_jsonl` reader,
+        mirroring the campaign journal's tolerance.
         """
-        out: List[Dict[str, Any]] = []
-        try:
-            fh = self.path.open("r", encoding="utf-8")
-        except OSError:
-            return out
-        with fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = json.loads(line)
-                except ValueError:
-                    continue  # torn tail from a killed appender
-                if isinstance(rec, dict):
-                    out.append(rec)
-        return out
+        return list(read_jsonl(self.path))
 
     def tail(self, n: int) -> List[Dict[str, Any]]:
         """The most recent ``n`` records, oldest first."""

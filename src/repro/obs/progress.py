@@ -54,7 +54,7 @@ HEARTBEAT_ENV = "REPRO_HEARTBEAT_INTERVAL"
 DEFAULT_STALE_AFTER = 10.0
 
 #: Terminal cell statuses (everything else keeps the cell in flight).
-_TERMINAL = frozenset({"done", "failed", "cached"})
+_TERMINAL = frozenset({"done", "failed", "cached", "quarantined"})
 
 
 class ProgressWriter:
@@ -194,11 +194,14 @@ class ProgressSnapshot:
     done: int = 0
     failed: int = 0
     cached: int = 0
+    #: Crash-looping cells parked on the campaign quarantine list.
+    quarantined: int = 0
     #: Cells whose latest transition is ``start``.
     in_flight: List[CellState] = field(default_factory=list)
     #: Cells retried and waiting for their next attempt.
     retrying: List[CellState] = field(default_factory=list)
     failed_cells: List[CellState] = field(default_factory=list)
+    quarantined_cells: List[CellState] = field(default_factory=list)
     #: pid -> last heartbeat-or-record timestamp.
     workers: Dict[int, float] = field(default_factory=dict)
     #: pids with an in-flight cell and no sign of life for
@@ -223,7 +226,7 @@ class ProgressSnapshot:
 
     @property
     def resolved(self) -> int:
-        return self.done + self.failed + self.cached
+        return self.done + self.failed + self.cached + self.quarantined
 
     @property
     def remaining(self) -> int:
@@ -286,6 +289,8 @@ def snapshot(records: List[Dict[str, Any]],
             snap.failed += 1
         elif state.status == "cached":
             snap.cached += 1
+        elif state.status == "quarantined":
+            snap.quarantined += 1
         elif state.status == "retry":
             snap.retrying.append(state)
         elif state.status == "start":
@@ -294,6 +299,9 @@ def snapshot(records: List[Dict[str, Any]],
     snap.retrying.sort(key=lambda s: (s.since or 0.0, s.cell))
     snap.failed_cells = sorted(
         (s for s in cells.values() if s.status == "failed"),
+        key=lambda s: (s.since or 0.0, s.cell))
+    snap.quarantined_cells = sorted(
+        (s for s in cells.values() if s.status == "quarantined"),
         key=lambda s: (s.since or 0.0, s.cell))
 
     snap.total = max(snap.total, len(cells))
@@ -365,6 +373,7 @@ def render_top(snap: ProgressSnapshot, title: str = "repro fleet",
         f"[{bar}] {snap.resolved}/{snap.total} cells "
         f"({fraction:.0%})",
         f"done {snap.done}  failed {snap.failed}  cached {snap.cached}  "
+        f"quarantined {snap.quarantined}  "
         f"in-flight {len(snap.in_flight)}  retrying {len(snap.retrying)}",
         f"cache hit ratio {snap.cache_hit_ratio:.0%}  "
         f"events {snap.events:,}  agg {_fmt_rate(snap.events_per_sec)}  "
@@ -388,6 +397,8 @@ def render_top(snap: ProgressSnapshot, title: str = "repro fleet",
                      f"{state.attempts or '?'}): {state.error or ''}")
     for state in snap.failed_cells[:max_rows]:
         lines.append(f"  FAIL {state.cell:<30} {state.error or ''}")
+    for state in snap.quarantined_cells[:max_rows]:
+        lines.append(f"  QUAR {state.cell:<30} {state.error or ''}")
     return "\n".join(lines)
 
 
@@ -447,6 +458,7 @@ def summary_dict(snap: ProgressSnapshot) -> Dict[str, Any]:
         "cells_done": snap.done,
         "cells_failed": snap.failed,
         "cells_cached": snap.cached,
+        "cells_quarantined": snap.quarantined,
         "cache_hit_ratio": round(snap.cache_hit_ratio, 4),
         "events": snap.events,
         "events_per_sec": round(snap.events_per_sec),

@@ -32,6 +32,7 @@ shared :data:`NULL_LOG` singleton — one truthiness test per call site.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sys
@@ -42,6 +43,22 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 #: On-disk record format; bump on incompatible schema changes.
 LOG_FORMAT = 1
 
+#: Reserved per-record checksum field (see :func:`record_checksum`).
+CHECKSUM_FIELD = "_ck"
+
+
+def record_checksum(record: Dict[str, Any]) -> str:
+    """Checksum of one JSONL record: blake2b over its canonical JSON
+    form (sorted keys, :data:`CHECKSUM_FIELD` excluded).
+
+    Stored under ``_ck`` by :func:`append_jsonl` and verified by
+    :func:`read_jsonl`; records without the field (older stores) are
+    accepted unverified, so the format change is purely additive.
+    """
+    body = {k: v for k, v in record.items() if k != CHECKSUM_FIELD}
+    canon = json.dumps(body, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.blake2b(canon, digest_size=8).hexdigest()
+
 #: Environment variable naming the log file (absent/empty = off).
 LOG_ENV = "REPRO_LOG"
 
@@ -51,13 +68,17 @@ LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
 LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
 
 
-def read_jsonl(path: Union[str, os.PathLike]) -> Iterator[Dict[str, Any]]:
+def read_jsonl(path: Union[str, os.PathLike],
+               verify: bool = True) -> Iterator[Dict[str, Any]]:
     """Yield JSON records from a JSONL file, tolerating a torn tail.
 
     The shared reader for every append-only JSONL artifact in this
     package (log, progress files, ledger-style journals): unparseable
     or non-object lines — the torn tail of a killed appender — are
-    skipped, never raised.
+    skipped, never raised.  Records carrying a ``_ck`` checksum are
+    verified (and the field stripped); a mismatch — a silently
+    corrupted line — is skipped like a torn one.  Records without the
+    field (older stores) pass through unverified.
     """
     try:
         fh = open(path, "r", encoding="utf-8")
@@ -72,17 +93,34 @@ def read_jsonl(path: Union[str, os.PathLike]) -> Iterator[Dict[str, Any]]:
                 rec = json.loads(line)
             except ValueError:
                 continue  # torn tail from a killed appender
-            if isinstance(rec, dict):
-                yield rec
+            if not isinstance(rec, dict):
+                continue
+            ck = rec.pop(CHECKSUM_FIELD, None)
+            if verify and ck is not None and ck != record_checksum(rec):
+                continue  # corrupted in place: treat like a torn line
+            yield rec
 
 
-def append_jsonl(path: Path, record: Dict[str, Any]) -> None:
-    """Append one record as one atomic ``O_APPEND`` line.
+def append_jsonl(path: Path, record: Dict[str, Any],
+                 fsync: bool = False, checksum: bool = True) -> int:
+    """Append one record as one atomic ``O_APPEND`` line; returns the
+    number of bytes written.
 
     If the file's current tail is torn (no trailing newline), a
     newline is prepended so the fragment stays skippable instead of
     corrupting this record too — the ledger's heal-on-append rule.
+    ``checksum`` stamps the record with ``_ck`` (see
+    :func:`record_checksum`); ``fsync`` forces durability for stores
+    that must survive a host crash (the campaign journal, the ledger).
+
+    This is the instrumented seam for host-fault injection: an active
+    :class:`~repro.resilience.chaos.ChaosPolicy` may tear the write or
+    raise a simulated ``ENOSPC`` here.
     """
+    path = Path(path)
+    if checksum:
+        record = dict(record)
+        record[CHECKSUM_FIELD] = record_checksum(record)
     data = (json.dumps(record, sort_keys=True, default=str) + "\n")\
         .encode("utf-8")
     try:
@@ -92,11 +130,25 @@ def append_jsonl(path: Path, record: Dict[str, Any]) -> None:
                 data = b"\n" + data
     except (OSError, ValueError):
         pass  # new/empty file: nothing to heal
+    chaos = _active_chaos()
+    if chaos is not None:
+        data = chaos.mangle_append(path.name, data)  # may raise ENOSPC
     fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
     try:
         os.write(fd, data)
+        if fsync:
+            os.fsync(fd)
     finally:
         os.close(fd)
+    return len(data)
+
+
+def _active_chaos():
+    """Late import of :func:`repro.resilience.chaos.active_chaos` —
+    obs must stay importable without the resilience package loaded."""
+    from repro.resilience.chaos import active_chaos
+
+    return active_chaos()
 
 
 class NullLog:

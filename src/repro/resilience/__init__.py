@@ -10,15 +10,21 @@ Two layers:
   semantics (correction latency, bounded re-fetch with backoff,
   poisoning, metadata invalidation).
 * **Campaign resilience** — :mod:`repro.resilience.campaign` fans runs
-  out to subprocess workers with timeouts, crash isolation, retries
+  out to subprocess workers with timeouts, crash isolation, a failure
+  taxonomy (transient / persistent / crash-looping with quarantine)
   and a JSONL journal for checkpoint/resume
   (:mod:`repro.resilience.worker` is the subprocess entry point).
+* **Host chaos + fsck** — :mod:`repro.resilience.chaos` injects
+  deterministic *host* faults (worker kills, torn writes, bit flips)
+  at instrumented seams when armed via ``REPRO_CHAOS``;
+  :mod:`repro.resilience.fsck` scans and heals the on-disk stores.
 
-The campaign modules are intentionally *not* imported here: they pull
-in :mod:`repro.core`, which itself imports
-:mod:`repro.resilience.recovery` — import them directly.
+The campaign and fsck modules are intentionally *not* imported here:
+they pull in :mod:`repro.core` / :mod:`repro.obs`, which themselves
+import :mod:`repro.resilience.recovery` — import them directly.
 """
 
+from repro.resilience.chaos import ChaosPolicy, active_chaos, stream_unit
 from repro.resilience.faults import (
     FAULT_PROCESSES,
     BurstEvent,
@@ -40,4 +46,7 @@ __all__ = [
     "Injector",
     "RecoveryController",
     "RecoveryPolicy",
+    "ChaosPolicy",
+    "active_chaos",
+    "stream_unit",
 ]

@@ -20,19 +20,27 @@ Cell spec fields (all optional except ``workload``/``scheme``)::
                     "fault_processes": [{"kind": "transient", ...}],
                     "inject_seed": 1, "inject_interval": 500},
      "max_events": 20000000, "max_wall_seconds": 120,
-     "sabotage": null}
+     "sabotage": null, "fidelity": "event",
+     "chaos_attempt": 1, "degraded": false}
 
 ``sabotage`` is a test hook for exercising the runner's fault
 handling: ``"hang"`` sleeps forever (runner timeout must kill it),
 ``"crash"`` exits hard with a non-zero status, and ``"livelock"``
 schedules a zero-delay self-rescheduling event so the engine watchdog
 fires.
+
+``chaos_attempt`` (campaign-global attempt number, stamped by the
+runner only while a :mod:`repro.resilience.chaos` policy is active)
+arms the host-fault seam at the top of :func:`run_cell_result`;
+``fidelity``/``degraded`` mark a graceful-degradation rescue attempt
+rerunning the cell on the functional tier.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import sys
 import time
 from typing import Any, Dict
@@ -44,6 +52,7 @@ from repro.core.system import GpuSystem
 from repro.obs.progress import (PROGRESS_ENV, HeartbeatThread, ProgressWriter,
                                 heartbeat_interval)
 from repro.obs.structlog import StructLog, resolve_log, run_context
+from repro.resilience.chaos import active_chaos
 from repro.resilience.faults import make_process
 from repro.resilience.recovery import RecoveryPolicy
 from repro.sim.engine import Watchdog
@@ -70,10 +79,38 @@ def _cell_telemetry(spec: Dict[str, Any], cell_id: str):
     return log, progress
 
 
+def _chaos_seam(spec: Dict[str, Any], cell_id: str, log) -> None:
+    """Host-fault injection point for campaign subprocess attempts.
+
+    Only specs carrying ``chaos_attempt`` (stamped by the campaign
+    runner per spawn, numbered across retries and resumes) are
+    attacked — pool workers share a ``ProcessPoolExecutor`` whose
+    death would take down unrelated cells, and degraded rescue
+    attempts are deliberately exempt.
+    """
+    chaos = active_chaos()
+    attempt = int(spec.get("chaos_attempt") or 0)
+    if chaos is None or attempt <= 0:
+        return
+    fault = chaos.worker_fault(cell_id, attempt)
+    if fault == "kill":
+        log.warn("chaos.worker.kill", attempt=attempt)
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault == "hang":
+        log.warn("chaos.worker.hang", attempt=attempt)
+        time.sleep(3600)
+    elif fault == "slow":
+        log.warn("chaos.worker.slow", attempt=attempt,
+                 seconds=chaos.slow_seconds)
+        time.sleep(chaos.slow_seconds)
+
+
 def build_cell_config(spec: Dict[str, Any]):
     """Translate a JSON cell spec into a :class:`SystemConfig`."""
     config = bench_config(**spec.get("gpu", {}))
     config = config.with_scheme(spec["scheme"], **spec.get("protection", {}))
+    if spec.get("fidelity"):
+        config = config.with_fidelity(spec["fidelity"])
     res = spec.get("resilience")
     if res is not None:
         processes = tuple(
@@ -115,6 +152,10 @@ def run_cell_result(spec: Dict[str, Any]) -> "RunResult":
         progress.cell(cell_id, "start")
         heartbeat = HeartbeatThread(progress, heartbeat_interval()).start()
     try:
+        # Chaos fires after the progress/heartbeat start records, so a
+        # killed or hung worker is visible in `obs top` exactly like a
+        # real host fault would be.
+        _chaos_seam(spec, cell_id, log)
         if sabotage == "hang":
             time.sleep(3600)
         elif sabotage == "crash":
@@ -170,16 +211,20 @@ def run_cell(spec: Dict[str, Any]) -> Dict[str, Any]:
         k: v for k, v in result.stats.items()
         if k.startswith(("resilience.", "injector."))
     }
-    return {
+    out = {
         "cell": spec.get("cell", f"{spec['workload']}/{spec['scheme']}"),
         "status": "ok",
         "workload": result.workload,
         "scheme": spec["scheme"],
+        "fidelity": getattr(result, "fidelity", "event"),
         "cycles": result.cycles,
         "traffic": result.traffic,
         "resilience": resilience_stats,
         "host_seconds": round(result.host_seconds, 3),
     }
+    if spec.get("degraded"):
+        out["degraded"] = True
+    return out
 
 
 def main() -> int:

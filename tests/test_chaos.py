@@ -1,0 +1,302 @@
+"""Deterministic host-fault injection: streams, seams, and the
+crash-consistency oracle (a chaotic campaign must converge — via
+retries, resume and fsck — to a clean run's exact metrics)."""
+
+import errno
+import json
+
+import pytest
+
+from repro.analysis.result_cache import ResultCache
+from repro.obs.structlog import append_jsonl, read_jsonl
+from repro.resilience import chaos as chaos_mod
+from repro.resilience.chaos import (CHAOS_ENV, ChaosPolicy, active_chaos,
+                                    reset_site_counters, stream_unit)
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos(monkeypatch):
+    """Every test starts chaos-off with fresh per-process site counters."""
+    monkeypatch.delenv(CHAOS_ENV, raising=False)
+    reset_site_counters()
+    yield
+    reset_site_counters()
+
+
+class TestStreamUnit:
+    def test_deterministic_per_seed_and_site(self):
+        assert stream_unit(1, "a") == stream_unit(1, "a")
+        assert stream_unit(1, "a") != stream_unit(2, "a")
+        assert stream_unit(1, "a") != stream_unit(1, "b")
+
+    def test_unit_interval(self):
+        for i in range(100):
+            u = stream_unit(7, f"site:{i}")
+            assert 0.0 <= u < 1.0
+
+
+class TestPolicyDecisions:
+    def test_probability_bounds(self):
+        policy = ChaosPolicy(seed=3)
+        assert not policy.decide("x", 0.0)        # 0 can never fire
+        assert policy.decide("x", 1.0)            # 1 always fires
+
+    def test_pick_in_range_and_deterministic(self):
+        policy = ChaosPolicy(seed=5)
+        for n in (1, 2, 7, 100):
+            i = policy.pick("cut", n)
+            assert 0 <= i < n
+            assert i == policy.pick("cut", n)
+
+    def test_worker_fault_off_by_default(self):
+        assert ChaosPolicy(seed=1).worker_fault("vecadd/none", 1) is None
+
+    def test_worker_fault_varies_by_attempt(self):
+        # With a mid probability, some attempts fire and some do not —
+        # the property that lets retries escape deterministic doom.
+        policy = ChaosPolicy(seed=11, kill_prob=0.5)
+        faults = {policy.worker_fault("vecadd/none", a) for a in range(1, 30)}
+        assert faults == {"kill", None}
+
+    def test_torn_append_strictly_truncates(self):
+        policy = ChaosPolicy(seed=2, torn_write_prob=1.0)
+        data = b'{"a": 1}\n'
+        torn = policy.mangle_append("j.jsonl", data)
+        assert 1 <= len(torn) < len(data)
+        assert data.startswith(torn)
+
+    def test_enospc_append_raises(self):
+        policy = ChaosPolicy(seed=2, enospc_prob=1.0)
+        with pytest.raises(OSError) as exc:
+            policy.mangle_append("j.jsonl", b'{"a": 1}\n')
+        assert exc.value.errno == errno.ENOSPC
+
+    def test_repeat_appends_are_distinct_sites(self):
+        # Per-process counters number repeat appends to one file, so a
+        # 50% policy tears some of a burst and spares the rest.
+        policy = ChaosPolicy(seed=9, torn_write_prob=0.5)
+        data = b'{"a": 1}\n'
+        out = [policy.mangle_append("j.jsonl", data) for _ in range(30)]
+        assert any(o == data for o in out)
+        assert any(o != data for o in out)
+
+    def test_cache_flip_changes_exactly_one_bit(self):
+        policy = ChaosPolicy(seed=4, corrupt_entry_prob=1.0)
+        blob = b'{"cycles": 1234}'
+        flipped = policy.mangle_cache_entry("deadbeef", blob)
+        assert len(flipped) == len(blob)
+        diffs = [(a ^ b) for a, b in zip(blob, flipped) if a != b]
+        assert len(diffs) == 1
+        assert bin(diffs[0]).count("1") == 1
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        policy = ChaosPolicy(seed=7, kill_prob=0.35, torn_write_prob=0.15)
+        clone = ChaosPolicy.from_dict(json.loads(policy.to_json()))
+        assert clone == policy
+
+    def test_from_dict_ignores_unknown_keys(self):
+        policy = ChaosPolicy.from_dict({"seed": 3, "future_knob": True})
+        assert policy.seed == 3
+
+    def test_load_inline_and_file(self, tmp_path):
+        inline = ChaosPolicy.load('{"seed": 5, "kill_prob": 0.1}')
+        assert inline.seed == 5 and inline.kill_prob == 0.1
+        path = tmp_path / "policy.json"
+        path.write_text(inline.to_json())
+        assert ChaosPolicy.load(path) == inline
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            ChaosPolicy.load(path)
+
+
+class TestActiveChaos:
+    def test_unset_means_off(self):
+        assert active_chaos() is None
+
+    def test_off_values(self, monkeypatch):
+        for off in ("off", "0", "none", "disabled"):
+            monkeypatch.setenv(CHAOS_ENV, off)
+            assert active_chaos() is None
+
+    def test_inline_json_activates(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 9, "kill_prob": 0.5}')
+        policy = active_chaos()
+        assert policy is not None and policy.seed == 9
+
+    def test_file_path_activates(self, tmp_path, monkeypatch):
+        path = tmp_path / "policy.json"
+        path.write_text('{"seed": 12}')
+        monkeypatch.setenv(CHAOS_ENV, str(path))
+        assert active_chaos().seed == 12
+
+    def test_cache_tracks_env_changes(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 1}')
+        assert active_chaos() is not None
+        monkeypatch.setenv(CHAOS_ENV, "off")
+        assert active_chaos() is None
+
+    def test_bad_value_warns_once_and_disables(self, monkeypatch, capsys):
+        monkeypatch.setattr(chaos_mod, "_WARNED_BAD_ENV", False)
+        monkeypatch.setenv(CHAOS_ENV, "/no/such/policy-file.json")
+        assert active_chaos() is None
+        assert "warning" in capsys.readouterr().err
+
+
+class TestAppendSeam:
+    def test_torn_writes_are_skipped_then_healed(self, tmp_path, monkeypatch):
+        path = tmp_path / "log.jsonl"
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 2, "torn_write_prob": 1.0}')
+        append_jsonl(path, {"a": 1})
+        append_jsonl(path, {"b": 2})
+        assert list(read_jsonl(path)) == []  # both appends were torn
+        monkeypatch.setenv(CHAOS_ENV, "off")
+        append_jsonl(path, {"c": 3})  # heals the torn tail first
+        assert list(read_jsonl(path)) == [{"c": 3}]
+
+    def test_enospc_propagates_to_caller(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 2, "enospc_prob": 1.0}')
+        with pytest.raises(OSError):
+            append_jsonl(tmp_path / "log.jsonl", {"a": 1})
+
+    def test_chaos_off_means_clean_writes(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        for i in range(5):
+            append_jsonl(path, {"i": i})
+        assert [r["i"] for r in read_jsonl(path)] == list(range(5))
+
+
+class TestCacheSeam:
+    def _key_and_result(self, cache):
+        from repro.analysis.harness import bench_config
+        from tests.test_result_cache import make_result
+
+        key = cache.key_for("vecadd",
+                            bench_config().with_scheme("none"), 0.3, 42)
+        return key, make_result(scheme="none")
+
+    def test_bit_flip_is_quarantined_on_get(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key, result = self._key_and_result(cache)
+        monkeypatch.setenv(CHAOS_ENV,
+                           '{"seed": 4, "corrupt_entry_prob": 1.0}')
+        path = cache.put(key, result)
+        monkeypatch.setenv(CHAOS_ENV, "off")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_suffix(".bad").exists()
+
+    def test_enospc_store_is_counted_not_raised(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key, result = self._key_and_result(cache)
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 4, "enospc_prob": 1.0}')
+        assert cache.put(key, result) is None
+        assert cache.store_errors == 1
+        monkeypatch.setenv(CHAOS_ENV, "off")
+        assert cache.get(key) is None  # nothing landed on disk
+
+
+TINY = {"scale": 0.02, "max_events": 5_000_000}
+
+#: Aggressive-but-fast pressure for the oracle: kills, slowdowns, torn
+#: journal writes and simulated full disks (no hangs — they only waste
+#: the runner timeout).
+ORACLE_POLICY = {"seed": 7, "kill_prob": 0.35, "slow_prob": 0.2,
+                 "slow_seconds": 0.02, "torn_write_prob": 0.15,
+                 "enospc_prob": 0.05}
+
+
+def _campaign_cells():
+    from repro.resilience.campaign import build_cells
+
+    return build_cells(["vecadd"], ["none", "cachecraft"], **TINY)
+
+
+def _metrics(journal_path):
+    """Deterministic per-cell metrics from a journal's done records."""
+    from repro.resilience.campaign import CampaignRunner
+
+    done, _quar, _attempts = CampaignRunner(journal_path).journal_state()
+    return {cell: (rec["result"]["cycles"], rec["result"]["traffic"])
+            for cell, rec in done.items()}
+
+
+class TestWorkerSeam:
+    def test_kill_then_retry_succeeds(self, tmp_path, monkeypatch):
+        from repro.resilience.campaign import CampaignRunner
+
+        # A policy whose decision stream kills attempt 1 of this cell
+        # but spares attempt 2 — found by walking seeds, which is the
+        # legitimate way to steer a hash-stream policy.
+        seed = next(s for s in range(500)
+                    if ChaosPolicy(seed=s, kill_prob=0.5)
+                    .worker_fault("vecadd/none", 1) == "kill"
+                    and ChaosPolicy(seed=s, kill_prob=0.5)
+                    .worker_fault("vecadd/none", 2) is None)
+        monkeypatch.setenv(
+            CHAOS_ENV, json.dumps({"seed": seed, "kill_prob": 0.5}))
+        runner = CampaignRunner(tmp_path / "kill.jsonl", workers=1,
+                                timeout=120, max_attempts=2,
+                                retry_backoff=0.01)
+        summary = runner.run(_campaign_cells()[:1])
+        assert summary.done == ["vecadd/none"]
+        records = list(read_jsonl(tmp_path / "kill.jsonl"))
+        assert [r["status"] for r in records] == ["attempt_failed", "done"]
+        assert records[0]["class"] == "transient"
+        assert records[1]["attempts"] == 2
+
+
+class TestCrashConsistencyOracle:
+    def test_chaotic_campaign_converges_to_clean_metrics(
+            self, tmp_path, monkeypatch):
+        """The tentpole oracle: under kills, torn journal writes and
+        ENOSPC, bounded resumes plus ``fsck --repair`` must land on
+        bit-identical final cell metrics versus a clean run."""
+        from repro.resilience.campaign import CampaignRunner
+        from repro.resilience.fsck import fsck_all
+
+        cells = _campaign_cells()
+
+        clean_journal = tmp_path / "clean.jsonl"
+        clean = CampaignRunner(clean_journal, workers=2,
+                               timeout=120).run(cells)
+        assert clean.ok
+        want = _metrics(clean_journal)
+        assert set(want) == {c["cell"] for c in cells}
+
+        chaotic_journal = tmp_path / "chaos.jsonl"
+        monkeypatch.setenv(CHAOS_ENV, json.dumps(ORACLE_POLICY))
+        for _round in range(8):
+            runner = CampaignRunner(chaotic_journal, workers=2,
+                                    timeout=120, max_attempts=2,
+                                    retry_backoff=0.01)
+            summary = runner.run(cells)
+            if summary.quarantined:
+                # Release crash-looping cells: the operator's explicit
+                # "try again" (fresh attempt numbers => fresh fates).
+                fsck_all(cache_dir=tmp_path / "no-cache",
+                         ledger=tmp_path / "no-ledger.jsonl",
+                         journals=[chaotic_journal], repair=True)
+            if len(summary.done) + len(summary.skipped) == len(cells):
+                break
+        monkeypatch.setenv(CHAOS_ENV, "off")
+
+        # Heal the journal (torn appends), then one clean resume picks
+        # up anything a dropped journal record forgot.
+        fsck_all(cache_dir=tmp_path / "no-cache",
+                 ledger=tmp_path / "no-ledger.jsonl",
+                 journals=[chaotic_journal], repair=True)
+        final = CampaignRunner(chaotic_journal, workers=2,
+                               timeout=120).run(cells)
+        assert final.ok and not final.failed
+
+        report = fsck_all(cache_dir=tmp_path / "no-cache",
+                          ledger=tmp_path / "no-ledger.jsonl",
+                          journals=[chaotic_journal])
+        assert report.ok
+        assert _metrics(chaotic_journal) == want

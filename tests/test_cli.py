@@ -407,3 +407,62 @@ def test_obs_history_kind_session_filter(tmp_path, capsys):
                  "--kind", "session"]) == 0
     out = capsys.readouterr().out
     assert "session/cli.compare" in out
+
+
+def test_fsck_clean_on_empty_world(tmp_path, capsys):
+    rc = main(["fsck", "--cache-dir", str(tmp_path / "nope"),
+               "--ledger", str(tmp_path / "nope.jsonl")])
+    assert rc == 0
+    assert "fsck: clean" in capsys.readouterr().out
+
+
+def test_fsck_detects_then_repairs_torn_journal(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    journal.write_text('{"cell": "a/b", "status": "done"}\n{"torn')
+    base = ["fsck", "--cache-dir", str(tmp_path / "nope"),
+            "--ledger", str(tmp_path / "nope.jsonl"),
+            "--journal", str(journal)]
+    assert main(base) == 1
+    out = capsys.readouterr().out
+    assert "torn_tail" in out and "--repair" in out
+    assert main(base + ["--repair"]) == 0
+    assert "repaired" in capsys.readouterr().out
+    assert main(base) == 0  # clean after healing
+    assert journal.read_text() == '{"cell": "a/b", "status": "done"}\n'
+
+
+def test_fsck_json_output(tmp_path, capsys):
+    import json
+
+    journal = tmp_path / "j.jsonl"
+    journal.write_text('{"torn')
+    rc = main(["fsck", "--cache-dir", str(tmp_path / "nope"),
+               "--ledger", str(tmp_path / "nope.jsonl"),
+               "--journal", str(journal), "--json"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert doc["issues"][0]["kind"] == "torn_tail"
+
+
+def test_campaign_rejects_bad_chaos_policy(tmp_path):
+    with pytest.raises(SystemExit, match="chaos-policy"):
+        main(["campaign", "-w", "vecadd", "-s", "none",
+              "--journal", str(tmp_path / "j.jsonl"), "--no-ledger",
+              "--chaos-policy", str(tmp_path / "missing.json")])
+
+
+def test_campaign_resilience_flags(tmp_path, capsys, monkeypatch):
+    from repro.resilience.chaos import CHAOS_ENV
+
+    # --chaos-policy exports REPRO_CHAOS for workers; monkeypatch
+    # snapshots the (unset) variable so the test leaves no trace.
+    monkeypatch.setenv(CHAOS_ENV, "off")
+    rc = main(["campaign", "-w", "vecadd", "-s", "none", "--scale", "0.02",
+               "--journal", str(tmp_path / "j.jsonl"), "--no-ledger",
+               "--retry-backoff", "0.05", "--retry-backoff-max", "1",
+               "--degrade", "--chaos-policy", '{"seed": 1}'])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "chaos policy armed" in out
+    assert "1 done" in out

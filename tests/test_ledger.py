@@ -224,6 +224,19 @@ class TestRecordBuilders:
         assert rec["metrics"]["demand_bytes"] == 100
         assert rec["metrics"]["overhead_bytes"] == 45
         assert rec["scale"] == 0.1 and rec["seed"] == 3
+        assert rec["fidelity"] == "event" and "degraded" not in rec
+
+    def test_record_from_cell_flags_degraded_rescue(self):
+        rec = record_from_cell(
+            {"cell": "vecadd/none", "workload": "vecadd",
+             "scheme": "none", "cycles": 500, "host_seconds": 0.1,
+             "fidelity": "functional", "degraded": True,
+             "traffic": {"data": 100}})
+        # A functional-tier rescue must never alias the event-tier
+        # cell's history: the id carries the tier, the flag the cause.
+        assert rec["cell"] == "vecadd/none@functional"
+        assert rec["fidelity"] == "functional"
+        assert rec["degraded"] is True
 
     def test_record_from_bench_keeps_full_payload(self):
         payload = {"raw_engine": {"events_per_sec": 1000},

@@ -138,7 +138,8 @@ class TestRenderTop:
         frame = render_top(snap, title="fleet")
         assert "== fleet ==" in frame
         assert "4/6 cells" in frame
-        assert "done 2  failed 1  cached 1  in-flight 2" in frame
+        assert ("done 2  failed 1  cached 1  quarantined 0  "
+                "in-flight 2") in frame
         assert "cache hit ratio 25%" in frame
         assert "STALE pids [102]" in frame
         assert "RUN  vecadd/ecc" in frame
@@ -194,7 +195,8 @@ class TestSummaryDict:
         summary = summary_dict(snap)
         assert summary == {
             "cells_total": 6, "cells_done": 2, "cells_failed": 1,
-            "cells_cached": 1, "cache_hit_ratio": 0.25, "events": 4000,
+            "cells_cached": 1, "cells_quarantined": 0,
+            "cache_hit_ratio": 0.25, "events": 4000,
             "events_per_sec": round(4000 / 6.0), "wall_seconds": 10.0,
         }
 

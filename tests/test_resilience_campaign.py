@@ -82,16 +82,22 @@ class TestRunner:
         assert sorted(summary.done) == ["vecadd/cachecraft", "vecadd/none"]
         assert summary.records["vecadd/none"]["cycles"] > 0
 
-    def test_crash_is_isolated_and_reported(self, tmp_path):
+    def test_crash_is_isolated_and_quarantined(self, tmp_path):
         journal = tmp_path / "crash.jsonl"
         runner = CampaignRunner(journal, workers=2, timeout=120,
                                 max_attempts=2, retry_backoff=0.05)
         summary = runner.run(tiny_cells(
             schemes=("none", "cachecraft"),
             sabotage={"vecadd/none": "crash"}))
-        assert summary.failed == ["vecadd/none"]
+        # Every attempt died transiently (hard exit, no error report):
+        # the taxonomy calls that crash-looping and quarantines it.
+        assert summary.quarantined == ["vecadd/none"]
+        assert not summary.failed and not summary.ok
         assert summary.done == ["vecadd/cachecraft"]  # sweep continued
         record = summary.records["vecadd/none"]
+        assert record["status"] == "quarantined"
+        assert record["class"] == "crash-looping"
+        assert record["classes"] == ["transient", "transient"]
         assert record["attempts"] == 2  # retried before giving up
         assert "13" in record["error"]
 
@@ -159,6 +165,109 @@ class TestRunner:
     def test_summary_ok_property(self):
         assert CampaignSummary(done=["a"]).ok
         assert not CampaignSummary(failed=["b"]).ok
+        assert not CampaignSummary(quarantined=["c"]).ok
+
+
+class TestFailureTaxonomy:
+    def test_classification_rules(self):
+        classify = CampaignRunner.classify_failure
+        assert classify({"timeout": True}) == "transient"
+        assert classify({"worker_reported": True,
+                         "returncode": 1}) == "persistent"
+        # Signal death / hard exit without a self-report: host's fault.
+        assert classify({"worker_reported": False,
+                         "returncode": -9}) == "transient"
+        assert classify({"returncode": 13}) == "transient"
+
+    def test_retry_delay_deterministic_jittered_capped(self, tmp_path):
+        runner = CampaignRunner(tmp_path / "j.jsonl", retry_backoff=0.5,
+                                retry_backoff_max=4.0)
+        first = runner.retry_delay("a/b", 1)
+        assert first == runner.retry_delay("a/b", 1)  # deterministic
+        assert 0.25 <= first < 0.75                   # base * [0.5, 1.5)
+        assert first != runner.retry_delay("c/d", 1)  # per-cell jitter
+        # Exponential growth hits the configurable cap.
+        assert runner.retry_delay("a/b", 10) <= 4.0 * 1.5
+
+    def test_backoff_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CampaignRunner(tmp_path / "j.jsonl", retry_backoff_max=0)
+
+    def test_persistent_failures_get_a_bounded_budget(self, tmp_path):
+        # Livelock makes the worker report its own error (exit 1 with
+        # an error object): persistent, so even a generous
+        # max_attempts only buys persistent_max_attempts tries.
+        journal = tmp_path / "persistent.jsonl"
+        runner = CampaignRunner(journal, workers=1, timeout=120,
+                                max_attempts=5, retry_backoff=0.01)
+        summary = runner.run(tiny_cells(
+            sabotage={"vecadd/none": "livelock"}))
+        assert summary.failed == ["vecadd/none"]  # failed, not quarantined
+        record = summary.records["vecadd/none"]
+        assert record["attempts"] == CampaignRunner.persistent_max_attempts
+        assert record["classes"] == ["persistent", "persistent"]
+
+    def test_quarantine_blocks_resume_until_fsck_releases(self, tmp_path):
+        from repro.resilience.fsck import FsckReport, fsck_jsonl
+
+        journal = tmp_path / "quar.jsonl"
+        CampaignRunner(journal, timeout=120, max_attempts=2,
+                       retry_backoff=0.01).run(
+            tiny_cells(sabotage={"vecadd/none": "crash"}))
+        # Resume (now without sabotage): the cell stays parked.
+        parked = CampaignRunner(journal, timeout=120).run(tiny_cells())
+        assert parked.quarantined == ["vecadd/none"]
+        assert not parked.done and not parked.ok
+        # fsck --repair is the operator's explicit release signal.
+        fsck_jsonl(journal, "journal", FsckReport(), repair=True,
+                   drop_status="quarantined")
+        released = CampaignRunner(journal, timeout=120).run(tiny_cells())
+        assert released.done == ["vecadd/none"] and released.ok
+
+
+class TestGracefulDegradation:
+    def test_degradable_gate(self, tmp_path):
+        runner = CampaignRunner(tmp_path / "j.jsonl")
+        assert runner._degradable({"cell": "a/b"})
+        assert not runner._degradable({"cell": "a/b",
+                                       "resilience": {"inject_seed": 1}})
+        assert not runner._degradable({"cell": "a/b",
+                                       "fidelity": "functional"})
+
+    def test_functional_rescue_after_chaos_kills(self, tmp_path,
+                                                 monkeypatch):
+        from repro.obs.structlog import read_jsonl
+        from repro.resilience.chaos import CHAOS_ENV
+
+        # Every chaos-armed attempt dies by SIGKILL; the degraded
+        # rescue attempt is chaos-exempt and runs the functional tier.
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 1, "kill_prob": 1.0}')
+        journal = tmp_path / "degrade.jsonl"
+        runner = CampaignRunner(journal, workers=1, timeout=120,
+                                max_attempts=1, retry_backoff=0.01,
+                                degrade=True)
+        summary = runner.run(tiny_cells())
+        monkeypatch.setenv(CHAOS_ENV, "off")
+        assert summary.done == ["vecadd/none"]
+        assert summary.degraded == ["vecadd/none"]
+        result = summary.records["vecadd/none"]
+        assert result["fidelity"] == "functional"
+        assert result["degraded"] is True
+        statuses = [r["status"] for r in read_jsonl(journal)]
+        assert statuses == ["degrading", "done"]
+        done = list(read_jsonl(journal))[-1]
+        assert done["degraded"] is True  # provenance survives resume
+
+    def test_no_degradation_without_the_flag(self, tmp_path, monkeypatch):
+        from repro.resilience.chaos import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, '{"seed": 1, "kill_prob": 1.0}')
+        runner = CampaignRunner(tmp_path / "j.jsonl", workers=1,
+                                timeout=120, max_attempts=2,
+                                retry_backoff=0.01)
+        summary = runner.run(tiny_cells())
+        monkeypatch.setenv(CHAOS_ENV, "off")
+        assert summary.quarantined == ["vecadd/none"]  # crash-looping
 
 
 class TestHarnessIntegration:

@@ -136,6 +136,74 @@ class TestResultCacheStore:
         assert cache.clear() == 0
 
 
+class TestQuarantine:
+    def _seeded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("vecadd",
+                            bench_config().with_scheme("none"), 0.3, 42)
+        path = cache.put(key, make_result(scheme="none"))
+        return cache, key, path
+
+    def test_unparseable_entry_quarantined_on_first_get(self, tmp_path):
+        cache, key, path = self._seeded(tmp_path)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert path.with_suffix(".bad").exists()
+        # The second lookup is a plain miss: no re-parse, no re-count.
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        cache, key, path = self._seeded(tmp_path)
+        entry = json.loads(path.read_text())
+        entry["result"]["cycles"] = 999_999  # silent bit-rot analogue
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert path.with_suffix(".bad").exists()
+
+    def test_corrupt_entry_never_reads_as_stale(self, tmp_path):
+        # The checksum check runs *before* the model-version check, so
+        # a flipped byte inside model_version quarantines instead of
+        # masquerading as a stale (silently ignored) entry.
+        cache, key, path = self._seeded(tmp_path)
+        entry = json.loads(path.read_text())
+        entry["model_version"] = "stale"
+        path.write_text(json.dumps(entry))  # checksum now wrong too
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_legacy_entry_without_checksum_still_loads(self, tmp_path):
+        cache, key, path = self._seeded(tmp_path)
+        entry = json.loads(path.read_text())
+        del entry["checksum"]  # entry written before the field existed
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) == make_result(scheme="none")
+
+    def test_stats_count_and_clear_sweeps_bad_entries(self, tmp_path):
+        cache, key, path = self._seeded(tmp_path)
+        path.write_text("{not json")
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["quarantined_entries"] == 1
+        assert stats["entries"] == 0  # .bad is out of the lookup path
+        assert cache.clear() == 1
+        assert cache.stats()["quarantined_entries"] == 0
+
+    def test_undecodable_result_payload_quarantined(self, tmp_path):
+        from repro.analysis.result_cache import entry_checksum
+
+        cache, key, path = self._seeded(tmp_path)
+        entry = json.loads(path.read_text())
+        entry["result"] = {"cycles": 1}  # missing required fields
+        entry["checksum"] = entry_checksum(entry)  # checksum passes
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+
 class TestDefaultCacheDir:
     def test_env_var_wins(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
