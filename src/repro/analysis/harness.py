@@ -24,7 +24,7 @@ from repro.obs.progress import ProgressWriter
 from repro.obs.structlog import NullLog, resolve_log, run_context
 from repro.sim.engine import Watchdog
 from repro.workloads import make_workload
-from repro.workloads.base import GenContext, Workload
+from repro.workloads.base import (GenContext, Workload, compiled_digest)
 
 
 def bench_config(**gpu_overrides) -> SystemConfig:
@@ -146,11 +146,35 @@ class ExperimentHarness:
         return (workload, cfg.protection.scheme, cfg, self.scale, self.seed,
                 tuple(sorted(self.workload_params.get(workload, {}).items())))
 
+    def _trace_digest(self, workload: str,
+                      cfg: SystemConfig) -> Optional[str]:
+        """Content address of the columnar trace a functional-tier
+        cell replays (None for event cells or without numpy).
+
+        Mixing it into the persistent key makes functional results
+        addressed by the *actual replayed trace*, so a generator edit
+        that changes traffic can never satisfy a lookup minted before
+        it — even if someone forgets the :data:`MODEL_VERSION` bump.
+        The compile is memoized (:func:`materialize_compiled`), and
+        the replay needs the artifact anyway, so keying costs nothing
+        extra on simulated cells.
+        """
+        if cfg.fidelity != "functional":
+            return None
+        try:
+            return compiled_digest(
+                self._build_workload(workload), self._gen_ctx(cfg),
+                line_bytes=cfg.gpu.line_bytes,
+                sector_bytes=cfg.gpu.sector_bytes)
+        except ImportError:  # no numpy: fall back to generator keying
+            return None
+
     def _persistent_key(self, workload: str, cfg: SystemConfig) -> str:
         assert self.result_cache is not None
         return self.result_cache.key_for(
             workload, cfg, self.scale, self.seed,
-            self.workload_params.get(workload, {}))
+            self.workload_params.get(workload, {}),
+            trace_digest=self._trace_digest(workload, cfg))
 
     def _persistent_get(self, workload: str,
                         cfg: SystemConfig) -> Optional[RunResult]:

@@ -77,8 +77,17 @@ def _canonical(obj: Any) -> Any:
 
 
 def cache_key(workload: str, config: SystemConfig, scale: float, seed: int,
-              workload_params: Optional[Dict[str, Any]] = None) -> str:
-    """Stable content hash for one simulation cell."""
+              workload_params: Optional[Dict[str, Any]] = None,
+              trace_digest: Optional[str] = None) -> str:
+    """Stable content hash for one simulation cell.
+
+    ``trace_digest`` — the compiled columnar artifact's content
+    address (:attr:`repro.gpu.columnar.CompiledTrace.digest`) — is
+    mixed in when provided, making the key address *the trace that
+    actually replayed*, not just the generator inputs that should
+    produce it.  Omitted (None), the key is unchanged, so event-tier
+    keys and digest-free callers stay back-compatible.
+    """
     cfg = _canonical(config)
     # Back-compat pruning: fields later added to SystemConfig/GpuConfig
     # are dropped from the payload at their default values, so every
@@ -98,6 +107,8 @@ def cache_key(workload: str, config: SystemConfig, scale: float, seed: int,
         "scale": scale,
         "seed": seed,
     }
+    if trace_digest is not None:
+        payload["trace_digest"] = trace_digest
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -150,9 +161,10 @@ class ResultCache:
     # -- addressing ---------------------------------------------------------
 
     def key_for(self, workload: str, config: SystemConfig, scale: float,
-                seed: int, workload_params: Optional[Dict[str, Any]] = None
-                ) -> str:
-        return cache_key(workload, config, scale, seed, workload_params)
+                seed: int, workload_params: Optional[Dict[str, Any]] = None,
+                trace_digest: Optional[str] = None) -> str:
+        return cache_key(workload, config, scale, seed, workload_params,
+                         trace_digest=trace_digest)
 
     def _path(self, key: str) -> Path:
         return self.dir / key[:2] / f"{key}.json"

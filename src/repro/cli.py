@@ -679,6 +679,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"trace memo (this process): {memo['entries']} entries "
               f"(cap {memo['capacity']}), {memo['hits']} hits, "
               f"{memo['misses']} misses")
+        print(f"compiled memo (this process): "
+              f"{memo['compiled_entries']} entries, "
+              f"{memo['compiled_hits']} hits, "
+              f"{memo['compiled_misses']} misses")
         return 0
     removed = cache.clear(stale_only=args.stale_only)
     what = "stale entries" if args.stale_only else "entries"

@@ -12,7 +12,10 @@ from typing import Dict, Optional
 #: code do not require a bump.
 #: v4: results gained the ``engine.events`` counter (events executed,
 #: for ledger events/sec accounting).
-MODEL_VERSION = "4"
+#: v5: ``GenContext.scaled_dim`` gained per-dimensionality scaling
+#: (3D volumes now scale linearly with ``scale``), which changes
+#: stencil3d traces — and therefore its traffic — at scale != 1.
+MODEL_VERSION = "5"
 
 
 @dataclass

@@ -25,9 +25,10 @@ from repro.resilience.injector import Injector
 from repro.resilience.recovery import RecoveryController
 from repro.sim.engine import Simulator, Watchdog
 from repro.sim.functional import (FunctionalChannel, FunctionalSm,
-                                  ImmediateQueue, replay)
+                                  ImmediateQueue, replay, replay_columnar)
 from repro.sim.stats import StatsRegistry
-from repro.workloads.base import GenContext, Workload, materialize
+from repro.workloads.base import (GenContext, Workload, materialize,
+                                  materialize_compiled)
 
 
 class GpuSystem:
@@ -156,6 +157,12 @@ class GpuSystem:
             return (line_addr * gpu.line_bytes // chunk) % gpu.num_slices
 
         self.route = route
+        #: Columnar artifact for the functional tier's vectorized
+        #: replay; set by :meth:`load_workload` when the workload can
+        #: be compiled (numpy available).  ``columnar_enabled=False``
+        #: forces the scalar op-list replay (tests, manual add_warp).
+        self.compiled = None
+        self.columnar_enabled = functional_tier
         if functional_tier:
             # No interconnect timing to model — SMs talk to the slices
             # directly, through the same receive_* interface.
@@ -203,6 +210,13 @@ class GpuSystem:
         for sm, warp_traces in zip(self.sms, traces):
             for ops in warp_traces:
                 sm.add_warp(ops)
+        if self.columnar_enabled:
+            try:
+                self.compiled = materialize_compiled(
+                    workload, gen_ctx, line_bytes=gpu.line_bytes,
+                    sector_bytes=gpu.sector_bytes)
+            except ImportError:  # no numpy: scalar replay still works
+                self.compiled = None
         if self.injector is not None:
             self._materialize_footprint(traces)
         return gen_ctx
@@ -266,20 +280,38 @@ class GpuSystem:
         A :class:`Watchdog`'s livelock detector is meaningless here
         (``now`` never advances by design), so only its wall-clock
         budget carries over; ``max_events`` bounds queue micro-tasks.
+
+        Replays the columnar artifact (vectorized; see
+        :func:`repro.sim.functional.replay_columnar`) when
+        :meth:`load_workload` compiled one and nothing forces the
+        scalar path — flame profiling wraps ``sm.step`` (which the
+        columnar loop never calls), and warps added manually via
+        ``sm.add_warp`` are absent from the artifact, so both fall
+        back to the bit-identical scalar op-list replay.
         """
         queue = self.sim
         queue.set_budget(
             max_events,
             watchdog.max_wall_seconds if watchdog is not None else None)
-        if self.obs.flame is not None:
-            # The tier's driver is a host-side loop, not scheduled
-            # events, so the root frame (smN.step) is planted here;
-            # the micro-tasks each step drains inherit it through the
-            # instrumented queue.
-            for sm in self.sms:
-                sm.step = self.obs.flame.wrap_root(
-                    f"sm{sm.sm_id}.step", sm.step)
-        replay(self.sms, queue)
+        compiled = self.compiled
+        use_columnar = (
+            compiled is not None and self.columnar_enabled
+            and self.obs.flame is None
+            and sum(sm.num_warps for sm in self.sms)
+            == int((compiled.warp_sm < len(self.sms)).sum()))
+        if use_columnar:
+            replay_columnar(compiled, self.sms, self.slices, queue,
+                            self.config.gpu.slice_chunk_bytes)
+        else:
+            if self.obs.flame is not None:
+                # The tier's driver is a host-side loop, not scheduled
+                # events, so the root frame (smN.step) is planted here;
+                # the micro-tasks each step drains inherit it through
+                # the instrumented queue.
+                for sm in self.sms:
+                    sm.step = self.obs.flame.wrap_root(
+                        f"sm{sm.sm_id}.step", sm.step)
+            replay(self.sms, queue)
         if self.config.flush_at_end:
             for sl in self.slices:
                 sl.flush()

@@ -11,6 +11,15 @@ Format (one JSON array per line = one warp):
     [["c", cycles], ["m", [addr, ...], store?, atomic?], ...]
 
 Optional header line: ``{"repro-trace": 1, "workload": "...", ...}``.
+
+Compiled (columnar) artifacts have their own binary container —
+:func:`dump_columnar` / :func:`load_columnar`: a JSON header line
+(format + columnar version, geometry, digest, array layout) followed
+by the raw little-endian array bytes in
+:data:`repro.gpu.columnar.ARRAY_SPECS` order.  The digest is
+re-derived on load, so a corrupted or hand-edited file cannot
+impersonate the artifact the header claims (the same digest
+participates in result-cache keys).
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ from typing import IO, Iterable, List, Optional, Union
 from repro.gpu.trace import ComputeOp, MemoryOp, WarpOp
 
 FORMAT_VERSION = 1
+
+#: Magic key of the columnar container's header line.
+COLUMNAR_MAGIC = "repro-columnar"
 
 
 def _encode_op(op: WarpOp) -> list:
@@ -84,6 +96,101 @@ def load_traces(fh: IO[str]) -> List[List[WarpOp]]:
             raise ValueError(f"line {line_no}: expected a JSON array")
         warps.append([_decode_op(entry) for entry in payload])
     return warps
+
+
+def dump_columnar(compiled, fh: IO[bytes],
+                  workload: Optional[str] = None) -> int:
+    """Write a :class:`~repro.gpu.columnar.CompiledTrace` to a binary
+    stream; returns the byte count written.
+
+    Layout: one UTF-8 JSON header line (``COLUMNAR_MAGIC`` mapping to
+    the container format version, the columnar artifact version,
+    geometry, digest and the per-array ``[name, dtype, length]``
+    specs), then each array's raw little-endian bytes back-to-back in
+    header order.
+    """
+    import numpy as np
+
+    from repro.gpu.columnar import ARRAY_SPECS, COLUMNAR_VERSION
+
+    arrays = [np.ascontiguousarray(getattr(compiled, name), dtype=dtype)
+              for name, dtype in ARRAY_SPECS]
+    header = {
+        COLUMNAR_MAGIC: 1,
+        "columnar_version": COLUMNAR_VERSION,
+        "num_sms": compiled.num_sms,
+        "line_bytes": compiled.line_bytes,
+        "sector_bytes": compiled.sector_bytes,
+        "digest": compiled.digest,
+        "arrays": [[name, dtype, len(arr)] for (name, dtype), arr
+                   in zip(ARRAY_SPECS, arrays)],
+    }
+    if workload:
+        header["workload"] = workload
+    header_bytes = (json.dumps(header, separators=(",", ":"))
+                    + "\n").encode("utf-8")
+    fh.write(header_bytes)
+    written = len(header_bytes)
+    for arr in arrays:
+        data = arr.tobytes()
+        fh.write(data)
+        written += len(data)
+    return written
+
+
+def load_columnar(fh: IO[bytes]):
+    """Read a :func:`dump_columnar` stream back into a verified
+    :class:`~repro.gpu.columnar.CompiledTrace`.
+
+    Validates the container and artifact versions, the structural
+    invariants, and the content digest (recomputed from the loaded
+    bytes and compared against the header's claim) — a truncated or
+    tampered file raises instead of replaying silently wrong.
+    """
+    import numpy as np
+
+    from repro.gpu.columnar import (ARRAY_SPECS, COLUMNAR_VERSION,
+                                    CompiledTrace, trace_digest)
+
+    header_line = bytearray()
+    while True:
+        ch = fh.read(1)
+        if not ch:
+            raise ValueError("columnar trace: truncated header")
+        if ch == b"\n":
+            break
+        header_line += ch
+    header = json.loads(header_line.decode("utf-8"))
+    if header.get(COLUMNAR_MAGIC) != 1:
+        raise ValueError("not a columnar trace file (bad magic)")
+    if header.get("columnar_version") != COLUMNAR_VERSION:
+        raise ValueError(
+            f"columnar artifact version {header.get('columnar_version')!r} "
+            f"unsupported (expected {COLUMNAR_VERSION})")
+    specs = header.get("arrays")
+    if (not isinstance(specs, list)
+            or [(s[0], s[1]) for s in specs] != list(ARRAY_SPECS)):
+        raise ValueError("columnar trace: array layout mismatch")
+    arrays = []
+    for name, dtype, length in specs:
+        want = int(length) * np.dtype(dtype).itemsize
+        data = fh.read(want)
+        if len(data) != want:
+            raise ValueError(f"columnar trace: truncated array {name!r}")
+        arr = np.frombuffer(data, dtype=dtype)
+        arr.flags.writeable = False
+        arrays.append(arr)
+    num_sms = int(header["num_sms"])
+    line_bytes = int(header["line_bytes"])
+    sector_bytes = int(header["sector_bytes"])
+    digest = trace_digest(num_sms, line_bytes, sector_bytes, arrays)
+    if digest != header.get("digest"):
+        raise ValueError("columnar trace: content digest mismatch "
+                         "(corrupted or tampered file)")
+    compiled = CompiledTrace(num_sms, line_bytes, sector_bytes,
+                             *arrays, digest=digest)
+    compiled.validate()
+    return compiled
 
 
 def flatten_machine_traces(traces) -> List[List[WarpOp]]:

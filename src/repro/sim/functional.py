@@ -48,7 +48,8 @@ from __future__ import annotations
 
 import re
 import time
-from collections import deque
+from collections import OrderedDict, deque
+from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.mshr import MshrFile
@@ -112,20 +113,28 @@ class ImmediateQueue:
 
     def drain(self) -> None:
         """Run queued micro-tasks (and whatever they enqueue) to
-        exhaustion, honoring the optional budgets."""
+        exhaustion, honoring the optional budgets.
+
+        The budget check runs *before* each pop: with
+        ``max_events=N``, at most ``N`` micro-tasks execute across the
+        whole run — a run whose total work fits the budget completes,
+        and a (N+1)-th pending task raises without running.  (The
+        historical comparison ran budget+1 tasks before noticing,
+        off-by-one against the documented safety-valve contract.)
+        """
         q = self._q
         popleft = q.popleft
         executed = self.events_executed
         budget = self.max_events
         deadline = self._deadline
         while q:
-            fn, args = popleft()
-            fn(*args)
-            executed += 1
-            if budget is not None and executed > budget:
+            if budget is not None and executed >= budget:
                 self.events_executed = executed
                 raise SimulationError(
                     f"functional run exceeded max_events={budget}")
+            fn, args = popleft()
+            fn(*args)
+            executed += 1
             if deadline is not None and not executed % 65536 \
                     and time.monotonic() > deadline:
                 self.events_executed = executed
@@ -160,16 +169,17 @@ class FunctionalChannel:
     def enqueue(self, request: DramRequest) -> None:
         self._bytes_by_kind[request.kind] += request.atoms * self.atom_bytes
         if request.is_write:
-            self._writes.add(request.atoms)
             # Posted write: ack immediately (same as the timing model).
-            if request.callback is not None:
-                cb = request.callback
-                request.callback = None
-                self.sim.schedule(0, cb)
+            self._writes.add(request.atoms)
         else:
             self._reads.add(request.atoms)
-            if request.callback is not None:
-                self.sim.schedule(0, request.callback)
+        # Schedule the completion without mutating the caller's
+        # request: nulling ``request.callback`` here (as the timing
+        # channel may, because it keeps the object queued) would
+        # silently drop the ack if the same object were re-enqueued by
+        # a retry/replay path.
+        if request.callback is not None:
+            self.sim.schedule(0, request.callback)
 
     def bytes_by_kind(self) -> Dict[str, int]:
         return {k.value: v for k, v in self._bytes_by_kind.items()}
@@ -350,6 +360,270 @@ def replay(sms: List[FunctionalSm], queue: ImmediateQueue) -> None:
     while active:
         active = [(sm, w) for sm, w in active if sm.step(w)]
     for sm in sms:
+        sm._warps.clear()
+    queue.drain()
+
+
+# -- columnar (vectorized) replay --------------------------------------------
+
+
+class _ColumnarSmState:
+    """Per-SM lean replay state for :func:`replay_columnar`.
+
+    Replicates the *observable* behavior of the scalar
+    :class:`FunctionalSm` front end — the exact LRU sectored L1,
+    MSHR/store-credit accounting and every flattened counter — with
+    plain dicts and local integers instead of per-access
+    :class:`~repro.sim.stats.Counter` calls and state-machine
+    dispatch.  One ``OrderedDict`` per set models true LRU exactly:
+    insertion order is fill order, ``move_to_end`` is the hit
+    promotion, ``popitem(last=False)`` the victim choice (the scalar
+    cache fills invalid ways first, but every fill becomes MRU
+    regardless of which physical way it landed in, so the dict's
+    recency order and the way-list policy order are the same total
+    order).  Each entry is a one-element list holding the valid
+    sector mask; a line whose mask was zeroed by atomics stays
+    resident (tag match, all sectors miss) and, like the scalar
+    cache, does not count as an eviction when displaced.
+    """
+
+    __slots__ = ("sets", "num_sets", "ways", "pending", "capacity",
+                 "credits", "hits", "sector_misses", "line_misses",
+                 "line_miss_sectors", "evictions", "mshr_allocs",
+                 "rejections")
+
+    def __init__(self, sm: FunctionalSm):
+        l1 = sm.l1
+        self.num_sets = l1.num_sets
+        self.ways = l1.ways
+        self.sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(l1.num_sets)]
+        #: line -> sector mask still awaiting L2 fill (the lean MSHR
+        #: file; must be empty at every op boundary on the serialized
+        #: replay, which :func:`replay_columnar` asserts).
+        self.pending: Dict[int, int] = {}
+        self.capacity = sm.store_credits.capacity
+        self.credits = 0
+        self.hits = 0
+        self.sector_misses = 0
+        self.line_misses = 0
+        self.line_miss_sectors = 0
+        self.evictions = 0
+        self.mshr_allocs = 0
+        self.rejections = 0
+
+    def fill(self, line_addr: int, granted: int) -> None:
+        """L2 fill callback — mirror of :meth:`FunctionalSm._l1_fill`:
+        allocate (evicting like the scalar cache, without promotion of
+        an already-resident line), install the granted sectors, retire
+        the pending-fill entry."""
+        sd = self.sets[line_addr % self.num_sets]
+        ent = sd.get(line_addr)
+        if ent is None:
+            if len(sd) >= self.ways:
+                _victim, vent = sd.popitem(last=False)
+                if vent[0]:
+                    self.evictions += 1
+            ent = [0]
+            sd[line_addr] = ent
+        ent[0] |= granted
+        rem = self.pending.get(line_addr)
+        if rem is not None:
+            rem &= ~granted
+            if rem:
+                self.pending[line_addr] = rem
+            else:
+                del self.pending[line_addr]
+
+    def release(self) -> None:
+        """Store/atomic ack from the L2 — frees one store credit."""
+        self.credits -= 1
+
+
+def replay_columnar(compiled, sms: List[FunctionalSm],
+                    slices: List, queue: ImmediateQueue,
+                    slice_chunk_bytes: int) -> None:
+    """Vectorized functional replay of a columnar trace artifact.
+
+    Bit-for-bit equivalent to :func:`replay` over the same traces on
+    **any** configuration: the scalar loop drains the queue after
+    every memory op, so execution is serialized at op granularity and
+    its round-robin rotation is a fixed total order — which
+    :func:`repro.gpu.columnar.round_robin_order` precomputes.  With
+    the order and the per-op coalesced transactions both compile-time
+    data, replay reduces to:
+
+    * **batched bookkeeping** — instruction/op-kind/transaction
+      counters are exact functions of the artifact, summed per SM in
+      numpy and added once (compute ops cost *nothing* per-op);
+    * **a lean L1 pass** (:class:`_ColumnarSmState`) over the
+      transaction columns, touching local integers on the hit path;
+    * **the verbatim L2/scheme machinery** for every miss, store and
+      atomic — exactly the micro-tasks the scalar tier runs, drained
+      at the same op boundaries, so the protection-layer state
+      machines (the part the paper is about) are never reimplemented.
+
+    Raises :class:`SimulationError` if an L2 fill fails to complete
+    inside its op's drain (impossible on the serialized contract; the
+    guard keeps a future concurrent L2 model from silently breaking
+    counter parity).
+    """
+    import numpy as np
+
+    from repro.gpu.columnar import (OP_ATOMIC, OP_COMPUTE, OP_LOAD,
+                                    round_robin_order)
+
+    for sm in sms:
+        if sm.l1._policy_name != "lru":
+            raise ValueError("columnar replay models the functional "
+                             "tier's LRU L1 only")
+    n = len(sms)
+    if compiled.num_ops == 0 or n == 0:
+        for sm in sms:
+            sm._warps.clear()
+        queue.drain()
+        return
+
+    # Execution order and per-op attribution (see round_robin_order).
+    counts = np.diff(compiled.warp_ptr)
+    op_warp = np.repeat(np.arange(compiled.num_warps, dtype=np.int64),
+                        counts)
+    op_sm = compiled.warp_sm.astype(np.int64)[op_warp]
+    order = round_robin_order(compiled, n)
+    kind = compiled.op_kind
+    txn_counts = np.diff(compiled.op_txn_ptr)
+
+    # Batched static counters: exact per-SM sums over executed ops.
+    k_sm = op_sm[order]
+    k_kind = kind[order]
+    k_txns = txn_counts[order]
+    is_load = k_kind == OP_LOAD
+    is_atomic = k_kind == OP_ATOMIC
+    is_store_like = k_kind >= 2  # OP_STORE | OP_ATOMIC
+    instructions = np.bincount(k_sm, minlength=n)
+    loads = np.bincount(k_sm[is_load], minlength=n)
+    atomics = np.bincount(k_sm[is_atomic], minlength=n)
+    stores = np.bincount(k_sm[is_store_like & ~is_atomic], minlength=n)
+    load_txns = np.bincount(k_sm[is_load], weights=k_txns[is_load],
+                            minlength=n)
+    store_txns = np.bincount(k_sm[is_store_like],
+                             weights=k_txns[is_store_like], minlength=n)
+
+    # Per-transaction slice routing, vectorized once.
+    num_slices = len(slices)
+    routes = ((compiled.txn_line * compiled.line_bytes)
+              // slice_chunk_bytes) % num_slices
+
+    # The memory-op schedule as plain python lists (plain-int access
+    # in the hot loop is much faster than numpy scalar extraction).
+    sel = order[kind[order] != OP_COMPUTE]
+    sched_kind = kind[sel].tolist()
+    sched_sm = op_sm[sel].tolist()
+    sched_start = compiled.op_txn_ptr[sel].tolist()
+    sched_end = compiled.op_txn_ptr[sel + 1].tolist()
+    tl = compiled.txn_line.tolist()
+    tm = compiled.txn_mask.tolist()
+    rt = routes.tolist()
+
+    states = [_ColumnarSmState(sm) for sm in sms]
+    drain = queue.drain
+    for i in range(len(sched_kind)):
+        st = states[sched_sm[i]]
+        k = sched_kind[i]
+        s = sched_start[i]
+        e = sched_end[i]
+        if k == OP_LOAD:
+            sets = st.sets
+            nsets = st.num_sets
+            pending = st.pending
+            missed = False
+            for t in range(s, e):
+                line = tl[t]
+                mask = tm[t]
+                sd = sets[line % nsets]
+                ent = sd.get(line)
+                if ent is None:
+                    st.line_misses += 1
+                    st.line_miss_sectors += mask.bit_count()
+                    miss = mask
+                else:
+                    valid = ent[0]
+                    hit = mask & valid
+                    miss = mask & ~valid
+                    if hit:
+                        st.hits += hit.bit_count()
+                        sd.move_to_end(line)
+                    if miss:
+                        st.sector_misses += miss.bit_count()
+                    else:
+                        continue
+                st.mshr_allocs += 1
+                pending[line] = miss
+                missed = True
+                slices[rt[t]].receive_load(line, miss,
+                                           partial(st.fill, line))
+            if missed:
+                drain()
+                if pending:
+                    raise SimulationError(
+                        "columnar replay: an L2 fill did not complete "
+                        "within its op's drain — the serialized-replay "
+                        "contract is broken (use the scalar tier)")
+        elif k == OP_ATOMIC:
+            release = st.release
+            sets = st.sets
+            nsets = st.num_sets
+            for t in range(s, e):
+                if st.credits >= st.capacity:
+                    st.rejections += 1
+                    drain()
+                    if st.credits >= st.capacity:
+                        st.rejections += 1
+                        raise SimulationError(
+                            "store-buffer credit unavailable after drain "
+                            "(functional-tier invariant violated)")
+                st.credits += 1
+                line = tl[t]
+                mask = tm[t]
+                ent = sets[line % nsets].get(line)
+                if ent is not None:
+                    ent[0] &= ~mask  # L1 copy is now stale
+                slices[rt[t]].receive_atomic(line, mask, release)
+            drain()
+        else:  # OP_STORE: write-through, no-allocate — L1 untouched
+            release = st.release
+            for t in range(s, e):
+                if st.credits >= st.capacity:
+                    st.rejections += 1
+                    drain()
+                    if st.credits >= st.capacity:
+                        st.rejections += 1
+                        raise SimulationError(
+                            "store-buffer credit unavailable after drain "
+                            "(functional-tier invariant violated)")
+                st.credits += 1
+                slices[rt[t]].receive_store(tl[t], tm[t], release)
+            drain()
+
+    # Flush the batched counters into the same stat tree the scalar
+    # tier populates — flattened results are key- and bit-compatible.
+    for i, sm in enumerate(sms):
+        st = states[i]
+        sm._instructions.add(int(instructions[i]))
+        sm._loads.add(int(loads[i]))
+        sm._stores.add(int(stores[i]))
+        sm._atomics.add(int(atomics[i]))
+        sm._load_txns.add(int(load_txns[i]))
+        sm._store_txns.add(int(store_txns[i]))
+        l1_stats = sm.l1.stats
+        l1_stats.get("hits").add(st.hits)
+        l1_stats.get("sector_misses").add(st.sector_misses)
+        l1_stats.get("line_misses").add(st.line_misses)
+        l1_stats.get("line_miss_sectors").add(st.line_miss_sectors)
+        l1_stats.get("evictions").add(st.evictions)
+        sm.l1_mshrs.stats.get("allocations").add(st.mshr_allocs)
+        sm.store_credits.acquires.add(int(store_txns[i]))
+        sm.store_credits.full_rejections.add(st.rejections)
         sm._warps.clear()
     queue.drain()
 

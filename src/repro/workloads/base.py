@@ -38,10 +38,20 @@ class GenContext:
     def scaled(self, n: int, minimum: int = 1) -> int:
         return max(minimum, int(n * self.scale))
 
-    def scaled_dim(self, n: int, minimum: int = 1) -> int:
-        """Scale a 2D/3D *dimension*: area/volume then scales ~linearly
-        with ``scale`` instead of quadratically/cubically."""
-        return max(minimum, int(n * self.scale ** 0.5))
+    def scaled_dim(self, n: int, minimum: int = 1, dims: int = 2) -> int:
+        """Scale one *dimension* of a ``dims``-dimensional extent so
+        the total area/volume scales ~linearly with ``scale``.
+
+        Each dimension shrinks by ``scale ** (1/dims)``: a 2D plane
+        whose width and height both use ``dims=2`` scales its area by
+        ``scale``; a 3D volume must pass ``dims=3`` (the old
+        hard-coded square root made volumes scale as ``scale**1.5``).
+        The default stays bit-compatible with the original 2D
+        behavior (``1.0 / 2`` is exactly ``0.5``).
+        """
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        return max(minimum, int(n * self.scale ** (1.0 / dims)))
 
 
 class Workload(abc.ABC):
@@ -152,11 +162,13 @@ def materialize(workload: Workload,
     """
     global _trace_hits, _trace_misses
     try:
+        # Hashing happens at the probe, not at key construction, so
+        # the unhashable-params fallback must cover the lookup too.
         key = _trace_key(workload, ctx)
+        cached = _trace_cache.get(key)
     except TypeError:  # unhashable params: build uncached
         _trace_misses += 1
         return workload.build(ctx)
-    cached = _trace_cache.get(key)
     if cached is not None:
         _trace_cache.move_to_end(key)
         _trace_hits += 1
@@ -172,15 +184,85 @@ def materialize(workload: Workload,
 def trace_cache_stats() -> Dict[str, int]:
     """Hit/miss/occupancy counters for ``cache stats`` debug output."""
     return {"entries": len(_trace_cache), "hits": _trace_hits,
-            "misses": _trace_misses, "capacity": TRACE_CACHE_CAPACITY}
+            "misses": _trace_misses, "capacity": TRACE_CACHE_CAPACITY,
+            "compiled_entries": len(_compiled_cache),
+            "compiled_hits": _compiled_hits,
+            "compiled_misses": _compiled_misses}
 
 
 def trace_cache_clear() -> None:
     """Empty the trace memo and reset its hit/miss counters (tests)."""
-    global _trace_hits, _trace_misses
+    global _trace_hits, _trace_misses, _compiled_hits, _compiled_misses
     _trace_cache.clear()
     _trace_hits = 0
     _trace_misses = 0
+    _compiled_cache.clear()
+    _compiled_hits = 0
+    _compiled_misses = 0
+
+
+# -- compiled (columnar) artifacts -------------------------------------------
+#
+# The functional tier replays the columnar IR (see
+# :mod:`repro.gpu.columnar`): coalescing runs once per memory op at
+# compile time and the result is immutable (frozen numpy arrays), so
+# the compiled form memoizes under the same determinism argument as
+# the raw traces — plus the coalescing geometry, which is a machine
+# property (the GPU's line/sector bytes), not a GenContext one.
+
+#: Maximum memoized compiled artifacts per process (they are much
+#: smaller than the op-list traces they are lowered from).
+COMPILED_CACHE_CAPACITY = 16
+
+_compiled_cache: "OrderedDict[tuple, object]" = OrderedDict()
+_compiled_hits = 0
+_compiled_misses = 0
+
+
+def materialize_compiled(workload: Workload, ctx: GenContext,
+                         line_bytes: int = 128, sector_bytes: int = 32):
+    """Memoized columnar compilation of a workload's traces.
+
+    Returns a :class:`repro.gpu.columnar.CompiledTrace` whose arrays
+    are frozen — callers must treat it as immutable, exactly like
+    :func:`materialize` output (it is shared across runs in this
+    process).  Unhashable workload params fall back to an uncached
+    build+compile, mirroring :func:`materialize`.  Raises
+    ``ImportError`` when numpy is unavailable; callers that can fall
+    back to the scalar op-list replay should catch it.
+    """
+    global _compiled_hits, _compiled_misses
+    from repro.gpu.columnar import compile_trace
+
+    try:
+        # As in :func:`materialize`, the TypeError for unhashable
+        # params surfaces when the key is *hashed* (the probe).
+        key = (_trace_key(workload, ctx), line_bytes, sector_bytes)
+        cached = _compiled_cache.get(key)
+    except TypeError:  # unhashable params: compile uncached
+        _compiled_misses += 1
+        return compile_trace(materialize(workload, ctx),
+                             line_bytes, sector_bytes)
+    if cached is not None:
+        _compiled_cache.move_to_end(key)
+        _compiled_hits += 1
+        return cached
+    _compiled_misses += 1
+    compiled = compile_trace(materialize(workload, ctx),
+                             line_bytes, sector_bytes)
+    _compiled_cache[key] = compiled
+    while len(_compiled_cache) > COMPILED_CACHE_CAPACITY:
+        _compiled_cache.popitem(last=False)
+    return compiled
+
+
+def compiled_digest(workload: Workload, ctx: GenContext,
+                    line_bytes: int = 128, sector_bytes: int = 32) -> str:
+    """Content address of a workload's compiled trace (see
+    :attr:`repro.gpu.columnar.CompiledTrace.digest`) — what the result
+    cache mixes into functional-tier keys."""
+    return materialize_compiled(workload, ctx, line_bytes,
+                                sector_bytes).digest
 
 
 def array_layout(sizes_bytes: List[int], align: int = 4096,

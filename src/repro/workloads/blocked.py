@@ -134,7 +134,8 @@ class Stencil3d(Workload):
     category = "blocked"
 
     def warp_trace(self, sm_id: int, warp_id: int, ctx: GenContext) -> List[WarpOp]:
-        dim = ctx.scaled_dim(self.params.get("dim", 200), minimum=48)
+        dim = ctx.scaled_dim(self.params.get("dim", 200), minimum=48,
+                             dims=3)
         points_per_warp = ctx.scaled(self.params.get("points_per_warp", 24),
                                      minimum=4)
         plane = dim * dim

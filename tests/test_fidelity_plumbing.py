@@ -65,6 +65,97 @@ class TestTraceMemoization:
         assert trace_cache_stats()["hits"] >= 1
 
 
+class TestImmediateQueueBudget:
+    """``max_events`` is a hard cap: at most N micro-tasks run.
+
+    Regression tests for the historical off-by-one where the
+    comparison ran after the increment, so ``budget + 1`` tasks
+    executed before the queue noticed.
+    """
+
+    def _queue(self, budget):
+        from repro.sim.functional import ImmediateQueue
+
+        q = ImmediateQueue()
+        q.set_budget(budget)
+        return q
+
+    def test_exact_budget_completes(self):
+        q = self._queue(3)
+        ran = []
+        for i in range(3):
+            q.schedule(0, ran.append, i)
+        q.drain()  # total work == budget: must finish cleanly
+        assert ran == [0, 1, 2]
+        assert q.events_executed == 3
+
+    def test_budget_plus_one_raises_without_running_it(self):
+        from repro.sim.engine import SimulationError
+
+        q = self._queue(3)
+        ran = []
+        for i in range(4):
+            q.schedule(0, ran.append, i)
+        with pytest.raises(SimulationError):
+            q.drain()
+        assert ran == [0, 1, 2]  # the 4th task never executed
+        assert q.events_executed == 3
+
+    def test_budget_is_cumulative_across_drains(self):
+        from repro.sim.engine import SimulationError
+
+        q = self._queue(3)
+        q.schedule(0, lambda: None)
+        q.schedule(0, lambda: None)
+        q.drain()
+        q.schedule(0, lambda: None)
+        q.drain()
+        assert q.events_executed == 3
+        q.schedule(0, lambda: None)
+        with pytest.raises(SimulationError):
+            q.drain()
+        assert q.events_executed == 3
+
+
+class TestFunctionalChannelEnqueue:
+    """The functional DRAM channel must not mutate the caller's
+    request: the timing channel may null ``callback`` because it keeps
+    the object queued, but here nulling it silently dropped the ack on
+    any re-enqueue (retry/replay paths share the request object)."""
+
+    def _channel(self):
+        from repro.sim.functional import FunctionalChannel, ImmediateQueue
+
+        q = ImmediateQueue()
+        return q, FunctionalChannel("dram0", q)
+
+    def test_callback_survives_enqueue(self):
+        from repro.dram.channel import DramRequest, RequestKind
+
+        q, ch = self._channel()
+        acks = []
+        req = DramRequest(0x1000, is_write=False, kind=RequestKind.DATA,
+                          callback=lambda: acks.append(1), atoms=2)
+        ch.enqueue(req)
+        assert req.callback is not None
+        q.drain()
+        assert acks == [1]
+
+    def test_reenqueued_request_acks_again(self):
+        from repro.dram.channel import DramRequest, RequestKind
+
+        q, ch = self._channel()
+        acks = []
+        req = DramRequest(0x2000, is_write=False, kind=RequestKind.DATA,
+                          callback=lambda: acks.append(1))
+        ch.enqueue(req)
+        q.drain()
+        ch.enqueue(req)  # replay/retry path re-submits the same object
+        q.drain()
+        assert acks == [1, 1]
+        assert ch.stats.get("reads").value == 2
+
+
 class TestCacheKeyCompat:
     def test_default_fidelity_and_blocking_stores_do_not_change_keys(self):
         cfg = small_config()
@@ -81,6 +172,25 @@ class TestCacheKeyCompat:
         assert cache_key("vecadd", cfg, 0.1, 42) \
             != cache_key("vecadd", small_config(blocking_stores=True),
                          0.1, 42)
+
+    def test_trace_digest_none_is_back_compatible(self):
+        cfg = small_config()
+        assert cache_key("vecadd", cfg, 0.1, 42) \
+            == cache_key("vecadd", cfg, 0.1, 42, trace_digest=None)
+
+    def test_trace_digest_changes_the_key(self):
+        cfg = small_config().with_fidelity("functional")
+        base = cache_key("vecadd", cfg, 0.1, 42)
+        d1 = cache_key("vecadd", cfg, 0.1, 42, trace_digest="a" * 32)
+        d2 = cache_key("vecadd", cfg, 0.1, 42, trace_digest="b" * 32)
+        assert len({base, d1, d2}) == 3
+
+    def test_result_cache_threads_digest(self, tmp_path):
+        cfg = small_config().with_fidelity("functional")
+        cache = ResultCache(tmp_path)
+        assert cache.key_for("vecadd", cfg, 0.1, 42,
+                             trace_digest="a" * 32) \
+            == cache_key("vecadd", cfg, 0.1, 42, trace_digest="a" * 32)
 
 
 def _result(fidelity="event", cycles=100):

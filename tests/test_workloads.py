@@ -133,6 +133,30 @@ class TestHelpers:
         ctx = GenContext(scale=0.001)
         assert ctx.scaled(100, minimum=8) == 8
 
+    def test_scaled_dim_default_is_2d_square_root(self):
+        # Bit-compatible with the historical hard-coded sqrt.
+        ctx = GenContext(scale=0.37)
+        assert ctx.scaled_dim(1024) == int(1024 * 0.37 ** 0.5)
+
+    def test_scaled_dim_3d_scales_volume_linearly(self):
+        # The contract: total volume ~ scale.  With the old
+        # hard-coded sqrt a 3D volume scaled as scale**1.5 (a
+        # scale=0.25 run kept 12.5% of the volume instead of 25%).
+        ctx = GenContext(scale=0.125)
+        dim = ctx.scaled_dim(400, dims=3)
+        assert dim == int(400 * 0.125 ** (1.0 / 3.0))
+        volume_ratio = (dim / 400) ** 3
+        assert abs(volume_ratio - 0.125) < 0.02
+
+    def test_scaled_dim_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            GenContext(scale=0.5).scaled_dim(100, dims=0)
+
+    def test_scaled_dim_scale_one_is_identity_any_dims(self):
+        ctx = GenContext(scale=1.0)
+        for dims in (1, 2, 3):
+            assert ctx.scaled_dim(200, dims=dims) == 200
+
     def test_warp_rng_independent(self):
         ctx = GenContext(seed=1)
         a = ctx.warp_rng("x", 0, 0).random()
