@@ -117,6 +117,11 @@ class SectoredCache:
         ]
         # line_addr -> (set, way) for O(1) probes.
         self._directory: Dict[int, Tuple[int, int]] = {}
+        #: Opt-in per-set introspection view; set exclusively by
+        #: :class:`repro.obs.inspect.MemoryInspector`.  Every hook in
+        #: this class guards on it, so disabled runs take a single
+        #: None-check and every counter stays bit-identical.
+        self._insp = None
 
         group = stats.child(name) if stats is not None else StatGroup(name)
         self.stats = group
@@ -159,6 +164,8 @@ class SectoredCache:
         if loc is None:
             self._line_misses.add(1)
             self._line_miss_sectors.add(1)
+            if self._insp is not None:
+                self._insp.access(self.set_of(line_addr), True)
             return LookupResult.MISS_LINE, None
         set_idx, way = loc
         line = self._sets[set_idx][way]
@@ -166,6 +173,8 @@ class SectoredCache:
         present = bool(line.valid_mask & bit)
         if present and require_verified and not (line.verified_mask & bit):
             present = False
+        if self._insp is not None:
+            self._insp.access(set_idx, not present)
         if present:
             self._hits.add(1)
             if line.is_metadata:
@@ -192,6 +201,8 @@ class SectoredCache:
         if loc is None:
             self._line_misses.add(1)
             self._line_miss_sectors.add(sector_mask.bit_count())
+            if self._insp is not None:
+                self._insp.access(self.set_of(line_addr), True)
             return 0, None
         set_idx, way = loc
         line = self._sets[set_idx][way]
@@ -200,6 +211,8 @@ class SectoredCache:
             hit_mask &= line.verified_mask
         hits = hit_mask.bit_count()
         requested = sector_mask.bit_count()
+        if self._insp is not None:
+            self._insp.access(set_idx, hits < requested)
         if hits:
             self._hits.add(hits)
             if line.is_metadata:
@@ -263,6 +276,13 @@ class SectoredCache:
                 self._evictions.add(1)
                 if evicted.needs_writeback:
                     self._writebacks.add(1)
+                if self._insp is not None:
+                    # Conflict eviction: some way elsewhere in the cache
+                    # is still free, so set imbalance — not capacity —
+                    # displaced this line.
+                    self._insp.evicted(
+                        set_idx,
+                        len(self._directory) < self.num_sets * self.ways)
             del self._directory[victim.line_addr]
         line = ways[way]
         line.reset()
@@ -270,6 +290,9 @@ class SectoredCache:
         line.is_metadata = is_metadata
         self._directory[line_addr] = (set_idx, way)
         policy.on_fill(way, low_priority=low_priority)
+        if self._insp is not None:
+            self._insp.filled(
+                set_idx, sum(1 for w in ways if w.line_addr >= 0))
         if is_metadata:
             self._metadata_fills.add(1)
         return line, evicted
@@ -331,6 +354,8 @@ class SectoredCache:
             self._evictions.add(1)
             if evicted.needs_writeback:
                 self._writebacks.add(1)
+            if self._insp is not None:
+                self._insp.invalidated(loc[0])
         line.reset()
         del self._directory[line_addr]
         return evicted if evicted.needs_writeback else None

@@ -58,6 +58,12 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                        metavar="CATS",
                        help="comma-separated trace categories "
                             "(sm,l2,mdcache,dram; default all)")
+    group.add_argument("--inspect-out", default=None, metavar="FILE",
+                       help="write memory-hierarchy introspection JSON "
+                            "(reuse distances, set-conflict heatmaps, "
+                            "row locality, reconstruction efficacy; "
+                            "counter-based, so works on both fidelity "
+                            "tiers)")
 
 
 def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
@@ -147,13 +153,15 @@ def _make_obs(args: argparse.Namespace,
             trace_categories=args.trace_categories,
             attribute_latency=attribute_latency,
             flame_out=getattr(args, "flame_out", None),
-            flame_sample_every=getattr(args, "flame_sample_every", 64))
+            flame_sample_every=getattr(args, "flame_sample_every", 64),
+            inspect_out=getattr(args, "inspect_out", None))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
 
 def _export_obs(obs: Observability, trace_out, metrics_out,
-                flame_out=None) -> None:
+                flame_out=None, inspect_out=None,
+                inspect_meta=(None, None, None)) -> None:
     """Write whatever the hub collected to the requested files."""
     if trace_out and obs.tracer.enabled:
         obs.tracer.export(trace_out)
@@ -174,6 +182,16 @@ def _export_obs(obs: Observability, trace_out, metrics_out,
               f"({len(obs.flame.samples)} stacks) to {flame_out} "
               "(collapsed-stack format: feed to flamegraph.pl or "
               "speedscope)")
+    if inspect_out and obs.inspect is not None:
+        import json as _json
+
+        workload, scheme, fidelity = inspect_meta
+        artifact = obs.inspect.artifact(workload, scheme, fidelity)
+        with open(inspect_out, "w") as fh:
+            _json.dump(artifact, fh, indent=2, sort_keys=True)
+        print(f"wrote memory-hierarchy introspection to {inspect_out} "
+              "(render with `obs inspect --html`; schema in "
+              "docs/OBSERVABILITY.md)")
 
 
 def _scheme_path(path: str, scheme: str) -> str:
@@ -444,6 +462,33 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="hottest stacks to summarize with --out "
                               "(default 10)")
 
+    inspect_p = obs_sub.add_parser(
+        "inspect", help="memory-hierarchy introspection for one "
+                        "workload across schemes: reuse-distance CDFs, "
+                        "set-conflict heatmaps, DRAM row locality and "
+                        "reconstruction efficacy (JSON + HTML)")
+    inspect_p.add_argument("--workload", "-w", default="vecadd",
+                           choices=sorted(WORKLOAD_REGISTRY))
+    inspect_p.add_argument("--schemes", "-s",
+                           default="none,metadata-cache,cachecraft",
+                           help="comma-separated scheme list (default "
+                                "none,metadata-cache,cachecraft)")
+    inspect_p.add_argument("--scale", type=float, default=0.1)
+    inspect_p.add_argument("--seed", type=int, default=42)
+    inspect_p.add_argument("--fidelity", choices=FIDELITIES,
+                           default="event",
+                           help="tier to inspect (introspection is "
+                                "counter-based, so the functional tier "
+                                "works too; it just has no DRAM row "
+                                "view)")
+    inspect_p.add_argument("--json-out", default=None, metavar="FILE",
+                           help="write per-scheme introspection JSON "
+                                "(scheme tag inserted before the "
+                                "extension)")
+    inspect_p.add_argument("--html", default=None, metavar="FILE",
+                           help="write a self-contained HTML heatmap "
+                                "report")
+
     regress_p = obs_sub.add_parser(
         "regress", help="compare latest records against a baseline; "
                         "exits nonzero on breach")
@@ -517,7 +562,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     log.info("run.done", cycles=result.cycles,
              events=int(result.events_executed),
              host_seconds=round(result.host_seconds, 3))
-    _export_obs(obs, args.trace_out, args.metrics_out)
+    _export_obs(obs, args.trace_out, args.metrics_out,
+                inspect_out=args.inspect_out,
+                inspect_meta=(args.workload, args.scheme, args.fidelity))
     ledger = _ledger_from_args(args)
     if ledger is not None:
         from repro.obs.ledger import record_from_result
@@ -562,7 +609,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     _reject_timed_flags(args)
     observers = {}
     obs_factory = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.inspect_out:
         def obs_factory(_workload: str, scheme: str) -> Observability:
             obs = _make_obs(args)
             observers[scheme] = obs
@@ -584,8 +631,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         # would silently drop --trace-out/--metrics-out; degrade to
         # serial (and say so) rather than lose the requested output.
         print("warning: --workers requires unobserved runs; running "
-              "serially so --trace-out/--metrics-out are not lost",
-              file=sys.stderr)
+              "serially so --trace-out/--metrics-out/--inspect-out "
+              "are not lost", file=sys.stderr)
         workers = None
     log = _log_from_args(args)
     progress_dir = args.progress_dir
@@ -648,7 +695,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             obs,
             _scheme_path(args.trace_out, scheme) if args.trace_out else None,
             _scheme_path(args.metrics_out, scheme)
-            if args.metrics_out else None)
+            if args.metrics_out else None,
+            inspect_out=_scheme_path(args.inspect_out, scheme)
+            if args.inspect_out else None,
+            inspect_meta=(args.workload, scheme, args.fidelity))
     return 0
 
 
@@ -704,7 +754,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print("warning: latency components do not sum to the total "
               "(attribution bug)", file=sys.stderr)
         return 1
-    _export_obs(obs, args.trace_out, args.metrics_out, args.flame_out)
+    _export_obs(obs, args.trace_out, args.metrics_out, args.flame_out,
+                inspect_out=args.inspect_out,
+                inspect_meta=(args.workload, args.scheme, "event"))
     return 0
 
 
@@ -969,17 +1021,64 @@ def _cmd_obs_flame(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_inspect(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.htmlreport import write_inspect_html
+    from repro.obs.inspect import MemoryInspector
+
+    schemes = [s for s in args.schemes.split(",") if s]
+    for scheme in schemes:
+        if scheme not in ALL_SCHEMES:
+            raise SystemExit(f"error: unknown scheme {scheme!r}")
+    shown_keys = ("row_hit_rate", "reconstruction_efficacy",
+                  "mdc_colocation_frac", "predicted_efficacy",
+                  "mdcache_reuse_p50", "line_reuse_p50")
+    artifacts = []
+    for scheme in schemes:
+        config = bench_config().with_scheme(scheme)
+        if args.fidelity != "event":
+            config = config.with_fidelity(args.fidelity)
+        gen_ctx = bench_gen_ctx(config, scale=args.scale, seed=args.seed)
+        inspector = MemoryInspector()
+        obs = Observability(inspect=inspector)
+        result = run_workload(make_workload(args.workload), config,
+                              gen_ctx=gen_ctx, obs=obs)
+        artifacts.append(inspector.artifact(args.workload, scheme,
+                                            args.fidelity))
+        metrics = result.key_metrics()
+        summary = " ".join(f"{k}={metrics[k]}" for k in shown_keys
+                           if k in metrics)
+        print(f"{args.workload}/{scheme}: "
+              f"{summary or 'no locality metrics'}")
+        if args.json_out:
+            path = _scheme_path(args.json_out, scheme)
+            with open(path, "w") as fh:
+                _json.dump(artifacts[-1], fh, indent=2, sort_keys=True)
+            print(f"  wrote {path}")
+    if args.html:
+        write_inspect_html(
+            artifacts, args.html,
+            title=f"memory-hierarchy introspection: {args.workload}")
+        print(f"wrote {args.html} ({len(artifacts)} scheme(s), "
+              "self-contained HTML)")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from datetime import datetime
 
     from repro.obs import htmlreport, regress
 
-    # `obs top` and `obs flame` read a progress directory / run a cell;
-    # neither takes ledger args, so dispatch before resolving the ledger.
+    # `obs top`, `obs flame` and `obs inspect` read a progress
+    # directory / run cells themselves; none takes ledger args, so
+    # dispatch before resolving the ledger.
     if args.obs_command == "top":
         return _cmd_obs_top(args)
     if args.obs_command == "flame":
         return _cmd_obs_flame(args)
+    if args.obs_command == "inspect":
+        return _cmd_obs_inspect(args)
 
     ledger = _ledger_from_args(args, required=True)
 

@@ -91,6 +91,10 @@ class CacheCraft(ProtectionScheme):
 
     name = "cachecraft"
 
+    #: Metadata is packed inline in data DRAM (the whole point), so the
+    #: trace-level metadata-locality prediction applies.
+    has_inline_metadata = True
+
     #: Set-dueling constants (leader groups hashed from line address).
     DUEL_MOD = 64
     DUEL_NORMAL = frozenset(range(0, 4))

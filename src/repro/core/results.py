@@ -46,6 +46,12 @@ class RunResult:
     #: and timing-only stats are absent (see docs/PERFORMANCE.md
     #: "Fidelity tiers").
     fidelity: str = "event"
+    #: Trace-level locality metrics (populated only when the run was
+    #: observed with memory-hierarchy introspection; see
+    #: :meth:`repro.obs.inspect.MemoryInspector.key_metrics`).  Merged
+    #: into :meth:`key_metrics` so the ledger and regression sentinel
+    #: can band them.
+    inspect_metrics: Dict[str, float] = field(default_factory=dict)
 
     # -- derived metrics ------------------------------------------------------
 
@@ -154,6 +160,7 @@ class RunResult:
             "latency": dict(self.latency),
             "config_summary": dict(self.config_summary),
             "fidelity": self.fidelity,
+            "inspect_metrics": dict(self.inspect_metrics),
         }
 
     @classmethod
@@ -171,6 +178,7 @@ class RunResult:
             latency=dict(payload.get("latency", {})),
             config_summary=dict(payload.get("config_summary", {})),
             fidelity=payload.get("fidelity", "event"),
+            inspect_metrics=dict(payload.get("inspect_metrics", {})),
         )
 
     def key_metrics(self) -> Dict[str, float]:
@@ -197,6 +205,20 @@ class RunResult:
             metrics["events"] = events
             if self.host_seconds > 0:
                 metrics["events_per_sec"] = self.events_per_sec
+        row_hits = self.stat("row_hits")
+        row_total = row_hits + self.stat("row_misses")
+        if row_total:
+            # Event tier only (functional channels model no banks).
+            metrics["row_hit_rate"] = round(row_hits / row_total, 6)
+        verified = self.stat("granules_verified")
+        if verified:
+            # CacheCraft: fraction of granule verifications the
+            # reconstructed chunk layout served without any extra
+            # DRAM fetch — the paper's reconstruction-efficacy claim.
+            metrics["reconstruction_efficacy"] = round(
+                self.stat("granules_no_extra_fetch") / verified, 6)
+        for key, value in self.inspect_metrics.items():
+            metrics.setdefault(key, value)
         return metrics
 
     def summary(self) -> Dict[str, object]:

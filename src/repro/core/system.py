@@ -151,6 +151,19 @@ class GpuSystem:
                 self.slices[s].invalidate_line(line)),
         )
 
+        insp = self.obs.inspect
+        if insp is not None:
+            # Memory-hierarchy introspection: watch every L2 slice's
+            # sector cache, each DRAM channel's banks (event tier only
+            # — the functional channels have none), and let the scheme
+            # register its own structures (metadata caches).
+            for sl in self.slices:
+                insp.watch_cache(f"l2s{sl.slice_id}", sl.cache)
+            for channel in self.channels:
+                if isinstance(channel, MemoryChannel):
+                    insp.watch_dram(channel.name, channel)
+            self.scheme.attach_introspection(insp)
+
         chunk = gpu.slice_chunk_bytes
 
         def route(line_addr: int) -> int:
@@ -210,13 +223,20 @@ class GpuSystem:
         for sm, warp_traces in zip(self.sms, traces):
             for ops in warp_traces:
                 sm.add_warp(ops)
-        if self.columnar_enabled:
+        if self.columnar_enabled or self.obs.inspect is not None:
+            # The inspector's trace-level analytics also want the
+            # columnar artifact, so event-tier inspected runs compile
+            # it too (materialization is memoized — no double cost).
             try:
                 self.compiled = materialize_compiled(
                     workload, gen_ctx, line_bytes=gpu.line_bytes,
                     sector_bytes=gpu.sector_bytes)
             except ImportError:  # no numpy: scalar replay still works
                 self.compiled = None
+        if self.obs.inspect is not None and self.compiled is not None:
+            self.obs.inspect.set_trace(
+                self.compiled, len(self.sms),
+                self.ctx.layout if self.scheme.has_inline_metadata else None)
         if self.injector is not None:
             self._materialize_footprint(traces)
         return gen_ctx
@@ -337,6 +357,8 @@ class GpuSystem:
         # Engine throughput provenance for the run ledger: events/sec
         # is events over host_seconds (both carried on the result).
         stats["engine.events"] = float(self.sim.events_executed)
+        inspect_metrics = (self.obs.inspect.key_metrics()
+                          if self.obs.inspect is not None else {})
         return RunResult(
             workload=workload_name,
             scheme=self.config.protection.scheme,
@@ -355,6 +377,7 @@ class GpuSystem:
                 "code": self.config.protection.code_name,
             },
             fidelity=self.config.fidelity,
+            inspect_metrics=inspect_metrics,
         )
 
 

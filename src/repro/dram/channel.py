@@ -101,6 +101,11 @@ class MemoryChannel:
         self._last_was_write = False
         self._wakeup_scheduled = False
         self._next_refresh = timing.t_refi if timing.refresh_enabled else None
+        #: Opt-in per-bank row-locality view; set exclusively by
+        #: :class:`repro.obs.inspect.MemoryInspector`.  The hook in
+        #: :meth:`_issue` guards on it, so disabled runs only pay one
+        #: None-check and every counter stays bit-identical.
+        self._insp = None
 
         group = stats.child(name) if stats is not None else StatGroup(name)
         self.stats = group
@@ -219,9 +224,16 @@ class MemoryChannel:
         access_start = max(now, bank.ready_at, self._bus_free_at - t.t_cl)
         if bank.open_row == req.row:
             self._row_hits.add(1)
+            if self._insp is not None:
+                self._insp.row_hits[req.bank] += 1
             cas_at = access_start
         else:
             self._row_misses.add(1)
+            if self._insp is not None:
+                # A different open row means a precharge (conflict); no
+                # open row at all is a cold/closed-bank miss.
+                (self._insp.row_conflicts if bank.open_row >= 0
+                 else self._insp.row_misses)[req.bank] += 1
             precharge = t.t_rp if bank.open_row >= 0 else 0
             activate_at = access_start + precharge
             gap = bank.last_activate + t.t_rc - activate_at

@@ -115,6 +115,17 @@ svg.spark polyline {
   stroke-linecap: round; stroke-linejoin: round;
 }
 svg.spark circle { fill: var(--series-1); }
+svg.heat { display: block; margin: 2px 0 6px; }
+.heat-label { font-size: 12px; color: var(--ink-2); margin-top: 8px; }
+svg.cdf { display: block; margin: 6px 0; }
+svg.cdf polyline {
+  fill: none; stroke-width: 2;
+  stroke-linecap: round; stroke-linejoin: round;
+}
+svg.cdf line.axis { stroke: var(--grid); stroke-width: 1; }
+.cdf-1 { stroke: var(--series-1); }
+.cdf-2 { stroke: var(--series-2); }
+.cdf-3 { stroke: var(--series-3); }
 """
 
 
@@ -133,11 +144,28 @@ def _num(value: Any) -> str:
 
 def _sparkline(values: Sequence[float], width: int = 240,
                height: int = 36) -> str:
-    """An inline SVG sparkline (no axes; endpoints labeled by caller)."""
+    """An inline SVG sparkline (no axes; endpoints labeled by caller).
+
+    Degenerate series render sensibly instead of crashing: an empty
+    series is an empty (but correctly-sized) SVG, and a constant or
+    single-point series is a centered flat line — not a polyline
+    collapsed onto one edge.
+    """
     pad = 4
     n = len(values)
+    if n == 0:
+        return (f'<svg class="spark" width="{width}" height="{height}" '
+                f'viewBox="0 0 {width} {height}" role="img" '
+                'aria-label="no data"></svg>')
     lo, hi = min(values), max(values)
-    span = (hi - lo) or 1.0
+    if hi == lo:
+        y = round(height / 2, 1)
+        return (f'<svg class="spark" width="{width}" height="{height}" '
+                f'viewBox="0 0 {width} {height}" role="img" '
+                f'aria-label="flat trajectory of {n} runs">'
+                f'<polyline points="{pad},{y} {width - pad},{y}"/>'
+                f'<circle cx="{width - pad}" cy="{y}" r="3"/></svg>')
+    span = hi - lo
     points = []
     for i, v in enumerate(values):
         x = pad + (width - 2 * pad) * (i / (n - 1) if n > 1 else 0.5)
@@ -153,6 +181,11 @@ def _sparkline(values: Sequence[float], width: int = 240,
 
 
 def _spark_row(label: str, values: List[float], unit: str = "") -> str:
+    if not values:
+        return ('<div class="spark-row">'
+                f'<div class="spark-label">{_esc(label)}</div>'
+                f'{_sparkline(values)}'
+                '<div class="spark-vals empty">no data</div></div>')
     tail = f" {unit}" if unit else ""
     return ('<div class="spark-row">'
             f'<div class="spark-label">{_esc(label)}</div>'
@@ -316,3 +349,205 @@ def write_html(records: Sequence[Dict[str, Any]], path,
     """Write :func:`render_html` output to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(render_html(records, title=title))
+
+
+# -- memory-hierarchy introspection report ------------------------------------
+
+
+def _heat_strip(values: Sequence[float], color_var: str, label: str,
+                width: int = 640, height: int = 14) -> str:
+    """One-row set/bank heatmap: a rect per slot, opacity by share of
+    the peak value (hover titles carry the exact counts)."""
+    n = len(values)
+    if n == 0:
+        return '<p class="empty">no slots</p>'
+    peak = max(values) or 1
+    cell = width / n
+    rects = []
+    for i, v in enumerate(values):
+        opacity = 0.08 + 0.92 * (v / peak) if v else 0.04
+        rects.append(
+            f'<rect x="{i * cell:.2f}" y="0" width="{cell + 0.05:.2f}" '
+            f'height="{height}" fill="var({color_var})" '
+            f'fill-opacity="{opacity:.3f}">'
+            f'<title>{_esc(label)} {i}: {_num(v)}</title></rect>')
+    return (f'<svg class="heat" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="{_esc(label)} heatmap ({n} slots)">'
+            + "".join(rects) + "</svg>")
+
+
+def _cdf_svg(series: Sequence[tuple], width: int = 420,
+             height: int = 140) -> str:
+    """Reuse-distance CDF plot: ``series`` is (label, css_class,
+    [[distance, cum_frac], ...]) triples; x is log2-scaled distance."""
+    import math
+
+    pad = 8
+    drawn = [(label, cls, pts) for label, cls, pts in series if pts]
+    if not drawn:
+        return '<p class="empty">no reuse (every reference is cold)</p>'
+    max_d = max(pt[0] for _lbl, _cls, pts in drawn for pt in pts)
+    x_span = math.log2(1.0 + max_d) or 1.0
+    parts = [f'<svg class="cdf" width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}" role="img" '
+             'aria-label="reuse-distance CDF">',
+             f'<line class="axis" x1="{pad}" y1="{height - pad}" '
+             f'x2="{width - pad}" y2="{height - pad}"/>',
+             f'<line class="axis" x1="{pad}" y1="{pad}" '
+             f'x2="{pad}" y2="{height - pad}"/>']
+    for _label, cls, pts in drawn:
+        coords = []
+        for dist, frac in pts:
+            x = pad + (width - 2 * pad) * math.log2(1.0 + dist) / x_span
+            y = height - pad - (height - 2 * pad) * frac
+            coords.append(f"{x:.1f},{y:.1f}")
+        parts.append(f'<polyline class="{cls}" '
+                     f'points="{" ".join(coords)}"/>')
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><i style="background:'
+        f'var(--series-{cls.rpartition("-")[2]})"></i>{_esc(label)}</span>'
+        for label, cls, _pts in drawn)
+    return (f'<div class="legend">{legend}</div>' + "".join(parts)
+            + '<div class="heat-label">x: reuse distance (log2), '
+              'y: cumulative fraction of warm references</div>')
+
+
+def _inspect_trace_block(trace: Optional[Dict[str, Any]]) -> str:
+    if not trace:
+        return ('<p class="empty">no trace analytics (workload could '
+                "not be compiled to the columnar IR)</p>")
+    line = trace.get("line", {})
+    sector = trace.get("sector", {})
+    coal = trace.get("coalescing", {})
+    meta = trace.get("metadata")
+    rows = [
+        ("memory ops", trace.get("mem_ops")),
+        ("transactions", trace.get("txns")),
+        ("line footprint", f"{_num(line.get('footprint_bytes', 0))} B "
+                           f"({_num(line.get('footprint_lines', 0))} lines)"),
+        ("line reuse frac", line.get("reuse", {}).get("reuse_frac")),
+        ("sector utilization", coal.get("sector_utilization")),
+        ("txns / mem op", coal.get("txns_per_mem_op")),
+    ]
+    if meta:
+        rows += [
+            ("metadata atoms", meta.get("meta_atoms")),
+            ("granules / atom (co-location)", meta.get("colocation")),
+            ("packed reuse frac", meta.get("packed_reuse_frac")),
+            ("naive reuse frac", meta.get("naive_reuse_frac")),
+            ("predicted efficacy", meta.get("predicted_efficacy")),
+        ]
+    table = "".join(
+        f"<tr><td>{_esc(k)}</td><td>{_num(v) if v is not None else '-'}"
+        "</td></tr>" for k, v in rows)
+    cdfs = [("line", "cdf-1", line.get("reuse_cdf") or []),
+            ("sector", "cdf-3", sector.get("reuse_cdf") or [])]
+    if meta:
+        cdfs.append(("metadata atom", "cdf-2", meta.get("reuse_cdf") or []))
+    return ("<table><thead><tr><th>trace metric</th><th>value</th></tr>"
+            f"</thead><tbody>{table}</tbody></table>" + _cdf_svg(cdfs))
+
+
+def _inspect_runtime_block(runtime: Dict[str, Any]) -> str:
+    parts: List[str] = []
+    for label, data in sorted((runtime.get("caches") or {}).items()):
+        misses = data.get("misses") or []
+        conflicts = data.get("conflict_evictions") or []
+        parts.append(
+            f'<div class="heat-label">{_esc(label)} &#8212; '
+            f'{data.get("num_sets")} sets &#215; {data.get("ways")} ways, '
+            f'conflict-eviction share '
+            f'{data.get("conflict_eviction_frac", 0.0):.1%}</div>'
+            + _heat_strip(misses, "--series-1", f"{label} misses/set")
+            + _heat_strip(conflicts, "--series-2",
+                          f"{label} conflict evictions/set"))
+    for label, data in sorted((runtime.get("mdcache") or {}).items()):
+        parts.append(
+            f'<div class="heat-label">{_esc(label)} &#8212; '
+            f'{_num(data.get("lookups", 0))} lookups, '
+            f'{_num(data.get("hits", 0))} hits, '
+            f'{_num(data.get("colocation_hits", 0))} co-location hits '
+            f'({data.get("colocation_hit_frac", 0.0):.1%} of hits served '
+            "only because the reconstructed chunk layout packs "
+            "neighbouring granules into one atom)</div>")
+    for label, data in sorted((runtime.get("dram") or {}).items()):
+        hits = data.get("row_hits") or []
+        conflicts = data.get("row_conflicts") or []
+        total = sum(hits) + sum(data.get("row_misses") or []) \
+            + sum(conflicts)
+        parts.append(
+            f'<div class="heat-label">{_esc(label)} &#8212; '
+            f'{data.get("banks")} banks, row hit rate '
+            f'{data.get("row_hit_rate", 0.0):.1%}, conflict rate '
+            f'{data.get("row_conflict_rate", 0.0):.1%} '
+            f'({_num(total)} accesses)</div>'
+            + _heat_strip(hits, "--series-3", f"{label} row hits/bank")
+            + _heat_strip(conflicts, "--series-2",
+                          f"{label} row conflicts/bank"))
+    if not parts:
+        return '<p class="empty">no run-time introspection data</p>'
+    return "".join(parts)
+
+
+def render_inspect_html(artifacts: Sequence[Dict[str, Any]],
+                        title: str = "Memory-hierarchy introspection"
+                        ) -> str:
+    """Render ``--inspect-out`` artifacts into one self-contained HTML
+    document: a cross-scheme metric table, then per-scheme reuse CDFs,
+    set-conflict heatmaps and DRAM row-locality strips."""
+    arts = list(artifacts)
+    metric_keys = sorted({k for a in arts
+                          for k in (a.get("metrics") or {})})
+    blocks: List[str] = []
+    if metric_keys and arts:
+        head = "".join(f"<th>{_esc(a.get('scheme') or '?')}</th>"
+                       for a in arts)
+        rows = []
+        for key in metric_keys:
+            cells = "".join(
+                f"<td>{_num((a.get('metrics') or {}).get(key))}"
+                "</td>" if (a.get('metrics') or {}).get(key) is not None
+                else "<td>-</td>" for a in arts)
+            rows.append(f"<tr><td>{_esc(key)}</td>{cells}</tr>")
+        blocks.append(
+            '<section class="card"><h2>Locality metrics by scheme</h2>'
+            f"<table><thead><tr><th>metric</th>{head}</tr></thead>"
+            f'<tbody>{"".join(rows)}</tbody></table></section>')
+    for art in arts:
+        scheme = art.get("scheme") or "?"
+        fidelity = art.get("fidelity") or "event"
+        blocks.append(
+            '<section class="card">'
+            f"<h2>{_esc(scheme)} ({_esc(fidelity)} tier)</h2>"
+            + _inspect_trace_block(art.get("trace"))
+            + _inspect_runtime_block(art.get("runtime") or {})
+            + "</section>")
+    if not blocks:
+        blocks.append('<section class="card">'
+                      '<p class="empty">no artifacts</p></section>')
+    workload = next((a.get("workload") for a in arts
+                     if a.get("workload")), None)
+    meta_bits = [f"{len(arts)} scheme(s)"]
+    if workload:
+        meta_bits.insert(0, f"workload {_esc(workload)}")
+    return ("<!DOCTYPE html>\n"
+            '<html lang="en"><head><meta charset="utf-8">'
+            f"<title>{_esc(title)}</title>"
+            f"<style>{_CSS}</style></head><body><main>"
+            f"<h1>{_esc(title)}</h1>"
+            f'<p class="meta">{" &#183; ".join(meta_bits)}</p>'
+            + "".join(blocks) +
+            "<footer>generated by <code>repro obs inspect</code> &#8212; "
+            "fully self-contained (inline CSS + SVG, no network "
+            "references)</footer>"
+            "</main></body></html>\n")
+
+
+def write_inspect_html(artifacts: Sequence[Dict[str, Any]], path,
+                       title: str = "Memory-hierarchy introspection"
+                       ) -> None:
+    """Write :func:`render_inspect_html` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_inspect_html(artifacts, title=title))

@@ -34,7 +34,8 @@ class Observability:
     def __init__(self, tracer: Optional[NullTracer] = None,
                  sample_interval: int = 0,
                  attribute_latency: bool = False,
-                 flame: Optional[FlameProfiler] = None):
+                 flame: Optional[FlameProfiler] = None,
+                 inspect=None):
         self.tracer: NullTracer = tracer if tracer is not None else NULL_TRACER
         self.sample_interval = sample_interval
         self.attribute_latency = attribute_latency
@@ -42,6 +43,11 @@ class Observability:
         #: (:class:`~repro.obs.flame.FlameProfiler`); attached to the
         #: scheduling surface alongside the timed observers.
         self.flame = flame
+        #: Optional memory-hierarchy introspection collector
+        #: (:class:`~repro.obs.inspect.MemoryInspector`).  Counter-based
+        #: like the flame profiler, so allowed on the functional tier;
+        #: the system attaches it to caches/channels post-construction.
+        self.inspect = inspect
         self.sampler: Optional[MetricsSampler] = None
         self.latency: Optional[LatencyAttributor] = None
         self._attached_to: Optional[object] = None
@@ -57,7 +63,8 @@ class Observability:
 
     @property
     def enabled(self) -> bool:
-        return self.timed_enabled or self.flame is not None
+        return (self.timed_enabled or self.flame is not None
+                or self.inspect is not None)
 
     def attach(self, sim: Simulator, stats: StatGroup) -> None:
         """Bind live observers to a freshly built system.
@@ -113,13 +120,15 @@ def make_observability(trace_out: Optional[str] = None,
                        attribute_latency: bool = False,
                        trace_capacity: int = 1_000_000,
                        flame_out: Optional[str] = None,
-                       flame_sample_every: int = 64) -> Observability:
+                       flame_sample_every: int = 64,
+                       inspect_out: Optional[str] = None) -> Observability:
     """Build a hub from CLI-flavoured options.
 
     ``trace_categories`` is a comma-separated list (``"dram,l2"``) or
     ``None`` for all categories.  Sampling is enabled whenever
     ``metrics_out`` is given; the deterministic flame profiler whenever
-    ``flame_out`` is.
+    ``flame_out`` is; memory-hierarchy introspection whenever
+    ``inspect_out`` is.
     """
     if metrics_out and sample_interval < 1:
         raise ValueError(
@@ -131,12 +140,17 @@ def make_observability(trace_out: Optional[str] = None,
         if trace_categories:
             cats = [c.strip() for c in trace_categories.split(",") if c.strip()]
         tracer = ChromeTracer(capacity=trace_capacity, categories=cats)
+    inspector = None
+    if inspect_out:
+        from repro.obs.inspect import MemoryInspector
+        inspector = MemoryInspector()
     return Observability(
         tracer=tracer,
         sample_interval=sample_interval if metrics_out else 0,
         attribute_latency=attribute_latency,
         flame=(FlameProfiler(sample_every=flame_sample_every)
                if flame_out else None),
+        inspect=inspector,
     )
 
 

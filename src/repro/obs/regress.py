@@ -43,6 +43,19 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[str, float]] = {
     "overhead_bytes": ("exact", 0.0),
     "l1_hit_rate": ("higher", 0.05),
     "l2_hit_rate": ("higher", 0.05),
+    # Memory-hierarchy introspection metrics (docs/OBSERVABILITY.md
+    # "Memory-hierarchy introspection").  Row locality and efficacy are
+    # deterministic model outputs; small bands absorb legitimate
+    # scheduling refactors without letting real locality loss through.
+    "row_hit_rate": ("higher", 0.05),
+    "reconstruction_efficacy": ("higher", 0.05),
+    "mdc_colocation_frac": ("higher", 0.10),
+    # Trace-level predictions are pure functions of the workload trace;
+    # a shift means trace generation itself changed.
+    "line_reuse_p50": ("lower", 0.10),
+    "mdcache_reuse_p50": ("lower", 0.10),
+    "meta_colocation": ("higher", 0.05),
+    "predicted_efficacy": ("higher", 0.05),
     # Host-throughput figures swing wildly across runners; the default
     # band only catches collapse, not jitter.
     "raw_events_per_sec": ("higher", 0.75),

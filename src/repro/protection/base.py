@@ -197,6 +197,11 @@ class ProtectionScheme(abc.ABC):
     #: Registry key; subclasses must override.
     name: str = ""
 
+    #: True when the scheme stores metadata inline in data DRAM —
+    #: gates the trace-level metadata-locality prediction (see
+    #: :mod:`repro.analysis.locality`).
+    has_inline_metadata: bool = False
+
     def __init__(self) -> None:
         self.ctx: Optional[ProtectionContext] = None
         self.stats: Optional[StatGroup] = None
@@ -228,6 +233,12 @@ class ProtectionScheme(abc.ABC):
     def drain(self) -> None:
         """End-of-run hook: flush any scheme-private dirty state (e.g.
         a dedicated metadata cache) so writes are fully accounted."""
+
+    def attach_introspection(self, insp) -> None:
+        """Register scheme-private structures with a
+        :class:`~repro.obs.inspect.MemoryInspector` (opt-in
+        observability).  The base scheme has nothing to register;
+        schemes with dedicated caches override this."""
 
     # -- overhead accounting ------------------------------------------------------
 

@@ -36,6 +36,10 @@ class DedicatedMetadataCache:
         self._tracer = tracer
         self._trace = (sim is not None and tracer is not None
                        and tracer.wants("mdcache"))
+        #: Opt-in reconstruction-efficacy view; set exclusively by
+        #: :class:`repro.obs.inspect.MemoryInspector` — every hook
+        #: below guards on it, so disabled runs are unchanged.
+        self._insp = None
         self._cache = SectoredCache(
             name, size_bytes, ways,
             line_bytes=atom_bytes, sector_bytes=atom_bytes,
@@ -46,17 +50,25 @@ class DedicatedMetadataCache:
     def stats(self) -> StatGroup:
         return self._cache.stats
 
-    def lookup(self, atom_addr: int) -> bool:
-        """True on a *readable* hit (write-only entries do not count)."""
+    def lookup(self, atom_addr: int, granules=()) -> bool:
+        """True on a *readable* hit (write-only entries do not count).
+
+        ``granules`` names the data granules whose metadata this
+        lookup serves; it feeds only the opt-in introspection view
+        (colocation accounting) and has no effect on behaviour.
+        """
         result, _line = self._cache.lookup(atom_addr, require_verified=True)
         hit = result.name == "HIT"
+        if self._insp is not None:
+            self._insp.note_lookup(self._cache.line_addr_of(atom_addr),
+                                   hit, granules)
         if self._trace and not hit:
             self._tracer.instant("mdcache", f"{self.name}_miss",
                                  self._sim.now, args={"atom": atom_addr})
         return hit
 
     def insert(self, atom_addr: int, *, dirty: bool = False,
-               verified: bool = True) -> Optional[int]:
+               verified: bool = True, granules=()) -> Optional[int]:
         """Install an atom; returns the address of a dirty victim atom
         needing writeback, if any.
 
@@ -66,6 +78,10 @@ class DedicatedMetadataCache:
         """
         line_addr = self._cache.line_addr_of(atom_addr)
         line, evicted = self._cache.allocate(line_addr, is_metadata=True)
+        if self._insp is not None:
+            self._insp.note_fill(
+                line_addr, granules,
+                evicted.line_addr if evicted is not None else None)
         if self._trace:
             self._tracer.instant(
                 "mdcache", f"{self.name}_fill", self._sim.now,
@@ -88,6 +104,8 @@ class DedicatedMetadataCache:
         line_addr = self._cache.line_addr_of(atom_addr)
         line = self._cache.probe(line_addr)
         dropped = line is not None and line.valid
+        if self._insp is not None and dropped:
+            self._insp.note_invalidate(line_addr)
         self._cache.invalidate(line_addr)  # discard even if dirty
         if self._trace and dropped:
             self._tracer.instant("mdcache", f"{self.name}_invalidate",

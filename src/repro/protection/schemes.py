@@ -112,11 +112,18 @@ class InlineSectorCode(ProtectionScheme):
 
     name = "inline-sector"
 
+    #: Inline metadata lives in data DRAM — enables the trace-level
+    #: metadata-locality prediction (see repro.analysis.locality).
+    has_inline_metadata = True
+
     def __init__(self, code_name: str = "secded") -> None:
         super().__init__()
         self.code_name = code_name
         self.code: Optional[ErrorCode] = None
         self._layout: Optional[InlineEccLayout] = None
+        #: Set by :meth:`attach_introspection` overrides; gates the
+        #: (off-path-free) granule bookkeeping below.
+        self._introspecting = False
 
     def prepare(self, functional: bool, atom_bytes: int = 32) -> InlineEccLayout:
         self.code, meta = build_code(self.code_name, atom_bytes, functional)
@@ -136,12 +143,16 @@ class InlineSectorCode(ProtectionScheme):
     # -- metadata access points (overridden by the MDC variant) -----------------
 
     def _read_meta_atom(self, slice_id: int, atom_addr: int,
-                        done: Callable[[], None]) -> None:
+                        done: Callable[[], None], granules=()) -> None:
+        """``granules`` names the data granules this atom read serves;
+        it feeds only opt-in introspection (colocation accounting in
+        the MDC variant) and never alters behaviour."""
         self._meta_reads.add(1)
         assert self.ctx is not None
         self.ctx.dram_read(slice_id, atom_addr, RequestKind.METADATA, done)
 
-    def _update_meta_atom(self, slice_id: int, atom_addr: int) -> None:
+    def _update_meta_atom(self, slice_id: int, atom_addr: int,
+                          granules=()) -> None:
         """Metadata update for a writeback (posted).
 
         GDDR-class DRAM supports byte-masked writes (DM pins), so the
@@ -164,11 +175,33 @@ class InlineSectorCode(ProtectionScheme):
                 atoms.add(ctx.layout.metadata_atom(granule))
         return atoms
 
+    def _meta_granules_for(self, line_addr: int, sector_mask: int
+                           ) -> Dict[int, tuple]:
+        """atom -> granules map for introspection.
+
+        Kept separate from :meth:`_meta_atoms_for` (whose set the hot
+        path iterates) so enabling introspection cannot perturb the
+        order metadata reads are issued in.
+        """
+        ctx = self.ctx
+        assert ctx is not None
+        base = line_addr * ctx.line_bytes
+        by_atom: Dict[int, list] = {}
+        for start, length in self._mask_runs(sector_mask, ctx.sectors_per_line):
+            for s in range(start, start + length):
+                granule = ctx.layout.granule_of(base + s * ctx.sector_bytes)
+                grans = by_atom.setdefault(ctx.layout.metadata_atom(granule), [])
+                if granule not in grans:
+                    grans.append(granule)
+        return {atom: tuple(g) for atom, g in by_atom.items()}
+
     def fetch(self, slice_id: int, line_addr: int, sector_mask: int,
               on_ready: Callable[[int], None]) -> None:
         ctx = self.ctx
         assert ctx is not None
         atoms = self._meta_atoms_for(line_addr, sector_mask)
+        gmap = (self._meta_granules_for(line_addr, sector_mask)
+                if self._introspecting else None)
         remaining = [1 + len(atoms)]  # data + each metadata atom
 
         def part_done() -> None:
@@ -188,7 +221,9 @@ class InlineSectorCode(ProtectionScheme):
         self.read_mask(slice_id, line_addr, sector_mask, RequestKind.DATA,
                        part_done)
         for atom in atoms:
-            self._read_meta_atom(slice_id, atom, part_done)
+            self._read_meta_atom(
+                slice_id, atom, part_done,
+                granules=() if gmap is None else gmap.get(atom, ()))
 
     def writeback(self, slice_id: int, line_addr: int, dirty_mask: int,
                   valid_mask: int, is_metadata: bool) -> None:
@@ -199,8 +234,12 @@ class InlineSectorCode(ProtectionScheme):
             return
         self.functional_writeback(line_addr, dirty_mask)
         self.write_mask(slice_id, line_addr, dirty_mask, RequestKind.WRITEBACK)
+        gmap = (self._meta_granules_for(line_addr, dirty_mask)
+                if self._introspecting else None)
         for atom in self._meta_atoms_for(line_addr, dirty_mask):
-            self._update_meta_atom(slice_id, atom)
+            self._update_meta_atom(
+                slice_id, atom,
+                granules=() if gmap is None else gmap.get(atom, ()))
 
 
 @register_scheme
@@ -237,6 +276,14 @@ class MetadataCacheScheme(InlineSectorCode):
     def sram_overhead_bytes(self) -> int:
         return self.mdcache_kb * 1024 * len(self._mdcs)
 
+    def attach_introspection(self, insp) -> None:
+        """Register the per-slice metadata caches with an inspector and
+        arm the (otherwise free) granule bookkeeping on the metadata
+        access path."""
+        self._introspecting = True
+        for mdc in self._mdcs.values():
+            insp.watch_mdcache(mdc.name, mdc)
+
     def drain(self) -> None:
         ctx = self.ctx
         assert ctx is not None
@@ -246,18 +293,20 @@ class MetadataCacheScheme(InlineSectorCode):
                 ctx.dram_write(slice_id, atom, RequestKind.METADATA_WRITE)
 
     def _read_meta_atom(self, slice_id: int, atom_addr: int,
-                        done: Callable[[], None]) -> None:
+                        done: Callable[[], None], granules=()) -> None:
         ctx = self.ctx
         assert ctx is not None
         mdc = self._mdcs[slice_id]
-        if mdc.lookup(atom_addr):
+        if mdc.lookup(atom_addr, granules=granules):
             self._mdc_hits.add(1)
             ctx.sim.schedule(2, done)  # SRAM access
             return
         self._mdc_misses.add(1)
-        self._fetch_merged(slice_id, atom_addr, done, dirty=False)
+        self._fetch_merged(slice_id, atom_addr, done, dirty=False,
+                           granules=granules)
 
-    def _update_meta_atom(self, slice_id: int, atom_addr: int) -> None:
+    def _update_meta_atom(self, slice_id: int, atom_addr: int,
+                          granules=()) -> None:
         ctx = self.ctx
         assert ctx is not None
         mdc = self._mdcs[slice_id]
@@ -269,7 +318,8 @@ class MetadataCacheScheme(InlineSectorCode):
         self._mdc_misses.add(1)
         # Masked write-allocate (no fetch): coalesce future updates;
         # the entry stays write-only so reads still miss on it.
-        victim = mdc.insert(atom_addr, dirty=True, verified=False)
+        victim = mdc.insert(atom_addr, dirty=True, verified=False,
+                            granules=granules)
         if victim is not None:
             self._meta_writes.add(1)
             ctx.dram_write(slice_id, victim, RequestKind.METADATA_WRITE)
@@ -282,27 +332,30 @@ class MetadataCacheScheme(InlineSectorCode):
         self._mdcs[slice_id].invalidate(ctx.layout.metadata_atom(granule))
 
     def _fetch_merged(self, slice_id: int, atom_addr: int,
-                      done: Optional[Callable[[], None]], dirty: bool) -> None:
+                      done: Optional[Callable[[], None]], dirty: bool,
+                      granules=()) -> None:
         """Fetch an atom into the MDC, merging concurrent requests."""
         ctx = self.ctx
         assert ctx is not None
         key = (slice_id, atom_addr)
         waiters = self._pending.get(key)
         if waiters is not None:
-            waiters.append((done, dirty))
+            waiters.append((done, dirty, granules))
             return
-        self._pending[key] = [(done, dirty)]
+        self._pending[key] = [(done, dirty, granules)]
         self._meta_reads.add(1)
         mdc = self._mdcs[slice_id]
 
         def filled() -> None:
             entries = self._pending.pop(key, ())
-            make_dirty = any(d for _cb, d in entries)
-            victim = mdc.insert(atom_addr, dirty=make_dirty)
+            make_dirty = any(d for _cb, d, _g in entries)
+            merged = tuple(dict.fromkeys(
+                g for _cb, _d, gs in entries for g in gs))
+            victim = mdc.insert(atom_addr, dirty=make_dirty, granules=merged)
             if victim is not None:
                 self._meta_writes.add(1)
                 ctx.dram_write(slice_id, victim, RequestKind.METADATA_WRITE)
-            for cb, _d in entries:
+            for cb, _d, _g in entries:
                 if cb is not None:
                     cb()
 
@@ -338,7 +391,7 @@ class SectorMetadataInL2(InlineSectorCode):
         return line_addr, 1 << sector
 
     def _read_meta_atom(self, slice_id: int, atom_addr: int,
-                        done: Callable[[], None]) -> None:
+                        done: Callable[[], None], granules=()) -> None:
         ctx = self.ctx
         assert ctx is not None
         meta_line, bit = self._meta_location(atom_addr)
@@ -364,7 +417,8 @@ class SectorMetadataInL2(InlineSectorCode):
 
         ctx.dram_read(slice_id, atom_addr, RequestKind.METADATA, arrived)
 
-    def _update_meta_atom(self, slice_id: int, atom_addr: int) -> None:
+    def _update_meta_atom(self, slice_id: int, atom_addr: int,
+                          granules=()) -> None:
         ctx = self.ctx
         assert ctx is not None
         self._meta_writes.add(1)
@@ -513,7 +567,7 @@ class InlineFullGranule(MetadataCacheScheme):
                                    RequestKind.VERIFY_FILL, part_done)
             pending[0] += 1
             self._read_meta_atom(slice_id, ctx.layout.metadata_atom(granule),
-                                 part_done)
+                                 part_done, granules=(granule,))
         if pending[0] == 0:  # cannot happen, but stay safe
             ctx.sim.schedule(0, on_ready, sector_mask)
 
@@ -537,7 +591,8 @@ class InlineFullGranule(MetadataCacheScheme):
                     self._rmw_sectors.add(missing.bit_count())
                     self.read_mask(slice_id, g_line, missing,
                                    RequestKind.VERIFY_FILL, _noop)
-            self._update_meta_atom(slice_id, ctx.layout.metadata_atom(granule))
+            self._update_meta_atom(slice_id, ctx.layout.metadata_atom(granule),
+                                   granules=(granule,))
         self.write_mask(slice_id, line_addr, dirty_mask, RequestKind.WRITEBACK)
 
 

@@ -1,0 +1,226 @@
+"""Memory-hierarchy introspection: counter parity when off, artifact
+content when on, CLI surfacing, and the sparkline degenerate cases."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.system import run_workload
+from repro.obs.htmlreport import (_spark_row, _sparkline,
+                                  render_inspect_html)
+from repro.obs.hub import Observability
+from repro.obs.inspect import MemoryInspector
+from repro.workloads import make_workload
+
+
+def inspected_run(small_config, gen, scheme="cachecraft",
+                  fidelity="event"):
+    config = small_config.with_scheme(scheme)
+    if fidelity != "event":
+        config = config.with_fidelity(fidelity)
+    inspector = MemoryInspector()
+    result = run_workload(make_workload("vecadd"), config, gen_ctx=gen,
+                          obs=Observability(inspect=inspector))
+    return inspector, result
+
+
+class TestCounterNeutrality:
+    """Enabling introspection must not change any simulation output —
+    the same bit-identical contract the flame profiler keeps."""
+
+    @pytest.mark.parametrize("scheme", ["cachecraft", "metadata-cache"])
+    def test_event_tier_counters_unchanged(self, small_config, tiny_gen,
+                                           scheme):
+        config = small_config.with_scheme(scheme)
+        bare = run_workload(make_workload("vecadd"), config,
+                            gen_ctx=tiny_gen)
+        _, inspected = inspected_run(small_config, tiny_gen, scheme)
+        assert inspected.cycles == bare.cycles
+        assert inspected.stats == bare.stats
+        assert inspected.traffic == bare.traffic
+
+    @pytest.mark.parametrize("scheme", ["cachecraft", "metadata-cache"])
+    def test_functional_tier_counters_unchanged(self, small_config,
+                                                tiny_gen, scheme):
+        config = small_config.with_scheme(scheme) \
+            .with_fidelity("functional")
+        bare = run_workload(make_workload("vecadd"), config,
+                            gen_ctx=tiny_gen)
+        _, inspected = inspected_run(small_config, tiny_gen, scheme,
+                                     fidelity="functional")
+        assert inspected.stats == bare.stats
+        assert inspected.traffic == bare.traffic
+
+    def test_uninspected_result_has_no_inspect_metrics(self, small_config,
+                                                       tiny_gen):
+        config = small_config.with_scheme("cachecraft")
+        bare = run_workload(make_workload("vecadd"), config,
+                            gen_ctx=tiny_gen)
+        assert bare.inspect_metrics == {}
+        assert "predicted_efficacy" not in bare.key_metrics()
+
+
+class TestRuntimeViews:
+    def test_cache_views_cover_l2_slices(self, small_config, small_gen):
+        inspector, _ = inspected_run(small_config, small_gen)
+        assert set(inspector.caches) == {"l2s0", "l2s1"}
+        for view in inspector.caches.values():
+            assert sum(view.accesses) > 0
+            assert sum(view.fills) > 0
+            # Conflict evictions are a subset of evictions, per set.
+            for conf, evs in zip(view.conflict_evictions, view.evictions):
+                assert conf <= evs
+            assert max(view.hiwater) <= view.ways
+
+    def test_dram_view_matches_stats_counters(self, small_config,
+                                              small_gen):
+        inspector, result = inspected_run(small_config, small_gen)
+        hits = sum(sum(v.row_hits) for v in inspector.drams.values())
+        misses = sum(sum(v.row_misses) + sum(v.row_conflicts)
+                     for v in inspector.drams.values())
+        assert hits == result.stat("row_hits")
+        assert misses == result.stat("row_misses")
+
+    def test_functional_tier_has_no_dram_view(self, small_config,
+                                              small_gen):
+        inspector, _ = inspected_run(small_config, small_gen,
+                                     fidelity="functional")
+        assert inspector.drams == {}
+        assert set(inspector.caches) == {"l2s0", "l2s1"}
+
+    def test_mdcache_views_and_colocation_bounds(self, small_config,
+                                                 small_gen):
+        inspector, _ = inspected_run(small_config, small_gen,
+                                     scheme="metadata-cache")
+        assert set(inspector.mdcaches) == {"mdc0", "mdc1"}
+        # The mdcache SRAM arrays get set heatmaps of their own.
+        assert {"mdc0", "mdc1"} < set(inspector.caches)
+        for view in inspector.mdcaches.values():
+            assert view.hits <= view.lookups
+            assert view.colocation_hits <= view.hits
+
+
+class TestArtifactAndMetrics:
+    def test_artifact_is_json_safe_and_versioned(self, small_config,
+                                                 small_gen):
+        inspector, _ = inspected_run(small_config, small_gen)
+        artifact = inspector.artifact("vecadd", "cachecraft", "event")
+        payload = json.loads(json.dumps(artifact))
+        assert payload["format"] == 1
+        assert payload["workload"] == "vecadd"
+        assert payload["trace"]["txns"] > 0
+        assert payload["trace"]["metadata"]["predicted_efficacy"] >= 0
+        assert payload["runtime"]["caches"]["l2s0"]["num_sets"] > 0
+
+    def test_key_metrics_flow_into_result(self, small_config, small_gen):
+        _, result = inspected_run(small_config, small_gen)
+        metrics = result.key_metrics()
+        assert "row_hit_rate" in metrics
+        assert 0.0 <= metrics["row_hit_rate"] <= 1.0
+        assert "reconstruction_efficacy" in metrics
+        assert "predicted_efficacy" in metrics
+
+    def test_efficacy_identical_across_tiers(self, small_config,
+                                             small_gen):
+        _, event = inspected_run(small_config, small_gen)
+        _, functional = inspected_run(small_config, small_gen,
+                                      fidelity="functional")
+        em, fm = event.key_metrics(), functional.key_metrics()
+        assert em["reconstruction_efficacy"] \
+            == fm["reconstruction_efficacy"]
+        assert em["predicted_efficacy"] == fm["predicted_efficacy"]
+
+    def test_schemes_without_inline_metadata_skip_prediction(
+            self, small_config, small_gen):
+        inspector, result = inspected_run(small_config, small_gen,
+                                          scheme="none")
+        assert inspector.artifact()["trace"].get("metadata") is None
+        assert "predicted_efficacy" not in result.key_metrics()
+
+
+class TestInspectCli:
+    def test_run_inspect_out(self, tmp_path, capsys):
+        out = tmp_path / "inspect.json"
+        rc = main(["run", "-w", "vecadd", "-s", "cachecraft",
+                   "--scale", "0.04", "--inspect-out", str(out),
+                   "--no-ledger"])
+        assert rc == 0
+        assert "memory-hierarchy introspection" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["scheme"] == "cachecraft"
+        assert payload["metrics"]
+
+    def test_run_inspect_out_functional_tier_allowed(self, tmp_path):
+        out = tmp_path / "inspect.json"
+        rc = main(["run", "-w", "vecadd", "-s", "cachecraft",
+                   "--scale", "0.04", "--fidelity", "functional",
+                   "--inspect-out", str(out), "--no-ledger"])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["fidelity"] == "functional"
+        assert payload["runtime"]["dram"] == {}
+
+    def test_compare_inspect_out_disables_cache_and_degrades_serial(
+            self, tmp_path, capsys):
+        out = tmp_path / "inspect.json"
+        rc = main(["compare", "-w", "vecadd", "--scale", "0.04",
+                   "--workers", "2", "--inspect-out", str(out),
+                   "--no-ledger"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "persistent result cache disabled" in captured.out
+        assert "--inspect-out are not lost" in captured.err
+        # One artifact per scheme, tagged before the extension.
+        assert (tmp_path / "inspect.cachecraft.json").exists()
+        assert (tmp_path / "inspect.none.json").exists()
+
+    def test_obs_inspect_html_report(self, tmp_path, capsys):
+        html = tmp_path / "inspect.html"
+        rc = main(["obs", "inspect", "-w", "vecadd",
+                   "-s", "none,cachecraft", "--scale", "0.04",
+                   "--html", str(html)])
+        assert rc == 0
+        assert "self-contained HTML" in capsys.readouterr().out
+        doc = html.read_text()
+        assert '<svg class="heat"' in doc
+        assert "Locality metrics by scheme" in doc
+        assert "cachecraft" in doc
+        # Self-contained: no external references of any kind.
+        assert "http" not in doc
+
+    def test_obs_inspect_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "inspect", "-s", "not-a-scheme"])
+
+
+class TestSparklineDegenerateSeries:
+    """Regression tests: empty / single-point / constant series used
+    to crash ``min()``/``values[0]`` or collapse onto one edge."""
+
+    def test_empty_series_renders_placeholder(self):
+        svg = _sparkline([])
+        assert svg.startswith("<svg")
+        assert "no data" in svg
+        assert "polyline" not in svg
+
+    def test_single_point_renders_flat_centered_line(self):
+        svg = _sparkline([42.0], height=36)
+        assert 'points="4,18.0 236,18.0"' in svg
+
+    def test_constant_series_renders_flat_centered_line(self):
+        svg = _sparkline([7.0, 7.0, 7.0], height=36)
+        assert ",18.0" in svg
+        assert "flat trajectory of 3 runs" in svg
+
+    def test_varying_series_unchanged(self):
+        svg = _sparkline([1.0, 2.0, 3.0])
+        assert "polyline" in svg and "flat" not in svg
+
+    def test_spark_row_empty_series(self):
+        row = _spark_row("cell", [])
+        assert "no data" in row
+
+    def test_render_inspect_html_empty_artifacts(self):
+        doc = render_inspect_html([])
+        assert "no artifacts" in doc

@@ -1,0 +1,163 @@
+"""Trace-level locality analytics: reuse distances, working sets,
+metadata-locality prediction (repro.analysis.locality)."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import (distance_cdf, distance_summary,
+                                     key_trace_metrics,
+                                     metadata_prediction, reuse_distances,
+                                     trace_analytics, working_set_curve)
+from repro.core.config import test_config as make_test_config
+from repro.workloads import make_workload
+from repro.workloads.base import GenContext, materialize_compiled
+
+
+class TestReuseDistances:
+    def test_crafted_sequence_exact(self):
+        # 1 2 1 3 2 1 -> cold cold {2}=1 cold {1,3}=2 {3,2}=2
+        dists = reuse_distances(np.array([1, 2, 1, 3, 2, 1]))
+        assert dists.tolist() == [-1, -1, 1, -1, 2, 2]
+
+    def test_immediate_rereference_is_zero(self):
+        dists = reuse_distances(np.array([7, 7, 7]))
+        assert dists.tolist() == [-1, 0, 0]
+
+    def test_all_distinct_all_cold(self):
+        dists = reuse_distances(np.arange(10))
+        assert (dists == -1).all()
+
+    def test_empty_stream(self):
+        assert len(reuse_distances(np.empty(0, dtype=np.int64))) == 0
+
+    def test_distance_equals_lru_capacity_minus_one(self):
+        # A cyclic sweep over N keys re-references each at distance N-1
+        # (it hits in a fully-associative LRU of exactly N keys).
+        n = 5
+        keys = np.tile(np.arange(n), 3)
+        dists = reuse_distances(keys)
+        assert (dists[n:] == n - 1).all()
+
+
+class TestSummaries:
+    def test_summary_counts_cold_and_percentiles(self):
+        summary = distance_summary(np.array([-1, -1, 0, 2, 8]))
+        assert summary["refs"] == 5
+        assert summary["cold"] == 2
+        assert summary["reuse_frac"] == pytest.approx(0.6)
+        assert summary["p50"] == 2.0
+        assert sum(summary["histogram"]["counts"]) == 3
+
+    def test_summary_all_cold_has_none_percentiles(self):
+        summary = distance_summary(np.array([-1, -1]))
+        assert summary["p50"] is None
+        assert summary["mean"] is None
+
+    def test_cdf_monotone(self):
+        cdf = distance_cdf(np.array([0, 1, 1, 4, 9, -1]))
+        fracs = [frac for _dist, frac in cdf]
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == 1.0
+
+    def test_cdf_empty_when_no_reuse(self):
+        assert distance_cdf(np.array([-1, -1])) == []
+
+    def test_working_set_monotone_and_exact_total(self):
+        keys = np.array([3, 3, 1, 2, 1, 4])
+        curve = working_set_curve(keys)
+        assert curve["unique"] == sorted(curve["unique"])
+        assert curve["unique"][-1] == 4
+        assert curve["refs"][-1] == len(keys)
+
+
+class _FakeLayout(SimpleNamespace):
+    """Duck-typed InlineEccLayout: only the fields the predictor uses."""
+
+
+def _layout(granule_bytes=128, meta_per_granule=8, atom_bytes=32):
+    return _FakeLayout(
+        granule_bytes=granule_bytes,
+        meta_per_granule=meta_per_granule,
+        atom_bytes=atom_bytes,
+        metadata_base=1 << 34,
+        granules_per_meta_atom=atom_bytes // meta_per_granule,
+    )
+
+
+class TestMetadataPrediction:
+    def test_colocated_granules_predict_free_reuse(self):
+        # 4 consecutive 128 B granules share one 32 B metadata atom
+        # (8 B/granule): a pure streaming sweep has zero naive reuse
+        # but the packed layout turns 3 of 4 references into reuses.
+        compiled = SimpleNamespace(
+            txn_line=np.array([0, 1, 2, 3], dtype=np.int64),
+            line_bytes=128)
+        pred = metadata_prediction(compiled, np.arange(4), _layout())
+        assert pred["meta_refs"] == 4
+        assert pred["meta_atoms"] == 1
+        assert pred["colocation"] == 4.0
+        assert pred["packed_reuse_frac"] == pytest.approx(0.75)
+        assert pred["naive_reuse_frac"] == 0.0
+        assert pred["predicted_efficacy"] == pytest.approx(0.75)
+
+    def test_private_atoms_predict_no_advantage(self):
+        # meta_per_granule == atom_bytes: every granule owns a whole
+        # atom, so packed and naive layouts are identical.
+        compiled = SimpleNamespace(
+            txn_line=np.array([0, 1, 0, 1], dtype=np.int64),
+            line_bytes=128)
+        pred = metadata_prediction(
+            compiled, np.arange(4), _layout(meta_per_granule=32))
+        assert pred["packed_reuse_frac"] == pred["naive_reuse_frac"]
+        assert pred["predicted_efficacy"] == 0.0
+        assert pred["colocation"] == 1.0
+
+    def test_line_spanning_multiple_granules(self):
+        # 128 B line over 32 B granules: 4 granules per line, all in
+        # one atom (8 B each) -> still a single atom reference per txn.
+        compiled = SimpleNamespace(
+            txn_line=np.array([0, 0], dtype=np.int64), line_bytes=128)
+        pred = metadata_prediction(
+            compiled, np.arange(2), _layout(granule_bytes=32))
+        assert pred["meta_refs"] == 2
+        assert pred["meta_atoms"] == 1
+
+
+class TestTraceAnalytics:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        gen = GenContext(num_sms=2, warps_per_sm=4, scale=0.05, seed=7)
+        return materialize_compiled(make_workload("vecadd"), gen,
+                                    line_bytes=128, sector_bytes=32)
+
+    def test_report_structure_and_invariants(self, compiled):
+        report = trace_analytics(compiled, machine_sms=2)
+        assert report["txns"] > 0
+        assert report["mem_ops"] > 0
+        line = report["line"]
+        assert line["footprint_bytes"] == line["footprint_lines"] * 128
+        assert 0.0 < report["coalescing"]["sector_utilization"] <= 1.0
+        assert "metadata" not in report
+
+    def test_metadata_section_with_real_layout(self, compiled):
+        config = make_test_config().with_scheme("cachecraft")
+        from repro.protection.base import make_scheme
+
+        scheme = make_scheme(config.protection.scheme,
+                             **config.protection.scheme_kwargs())
+        layout = scheme.prepare(False, atom_bytes=32)
+        report = trace_analytics(compiled, machine_sms=2, layout=layout)
+        meta = report["metadata"]
+        assert meta["meta_refs"] >= report["txns"]
+        assert meta["meta_atoms"] <= meta["granules"]
+        assert 0.0 <= meta["predicted_efficacy"] <= 1.0
+        metrics = key_trace_metrics(report)
+        assert "predicted_efficacy" in metrics
+        assert "meta_colocation" in metrics
+
+    def test_analytics_deterministic(self, compiled):
+        a = trace_analytics(compiled, machine_sms=2)
+        b = trace_analytics(compiled, machine_sms=2)
+        assert a == b
